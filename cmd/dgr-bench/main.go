@@ -1,0 +1,75 @@
+// Command dgr-bench regenerates the experiment tables of EXPERIMENTS.md:
+// one per figure/scenario of the paper plus the quantitative evaluation of
+// its claims.
+//
+// Usage:
+//
+//	dgr-bench                 # run everything
+//	dgr-bench -exp thm1,race  # run a subset
+//	dgr-bench -quick          # small workloads (smoke test)
+//	dgr-bench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dgr/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dgr-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		which = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		quick = flag.Bool("quick", false, "shrink workloads")
+		seed  = flag.Int64("seed", 7, "workload seed")
+		list  = flag.Bool("list", false, "list experiment IDs")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-11s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var selected []exp.Experiment
+	if *which == "all" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*which, ",") {
+			e, ok := exp.Get(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (ids: %s)",
+					id, strings.Join(exp.IDs(), ", "))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	failures := 0
+	for _, e := range selected {
+		tbl, err := e.Run(cfg)
+		if tbl != nil {
+			tbl.Fprint(os.Stdout)
+		}
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "EXPERIMENT FAILED %s: %v\n", e.ID, err)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

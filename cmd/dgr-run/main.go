@@ -1,0 +1,107 @@
+// Command dgr-run evaluates a program on the distributed graph-reduction
+// machine and prints the result and run statistics.
+//
+// Usage:
+//
+//	dgr-run [flags] -e 'let fib n = ... in fib 20'
+//	dgr-run [flags] program.dgr
+//	dgr-run -list                  # show the builtin program corpus
+//	dgr-run -name fib              # run a corpus program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dgr"
+	"dgr/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dgr-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		pes      = flag.Int("pes", 4, "number of processing elements")
+		parallel = flag.Bool("parallel", false, "run PEs as goroutines (default: deterministic)")
+		seed     = flag.Int64("seed", 1, "deterministic scheduling seed")
+		spec     = flag.Bool("spec", false, "speculatively evaluate if branches")
+		mtEvery  = flag.Int("mtevery", 4, "run deadlock detection every k-th GC cycle (0 = never)")
+		expr     = flag.String("e", "", "program text to evaluate")
+		name     = flag.String("name", "", "run a named corpus program")
+		list     = flag.Bool("list", false, "list corpus programs")
+		stats    = flag.Bool("stats", true, "print run statistics")
+		timeout  = flag.Duration("timeout", 30*time.Second, "parallel evaluation timeout")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(workload.Programs))
+		for n := range workload.Programs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-12s => %d\n", n, workload.Programs[n].Want)
+		}
+		return nil
+	}
+
+	src := *expr
+	switch {
+	case src != "":
+	case *name != "":
+		p, ok := workload.Programs[*name]
+		if !ok {
+			return fmt.Errorf("unknown corpus program %q (try -list)", *name)
+		}
+		src = p.Src
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("nothing to run: use -e, -name, or a file argument")
+	}
+
+	mtCfg := *mtEvery
+	if mtCfg == 0 {
+		mtCfg = -1 // Options treats 0 as "default"; negative disables
+	}
+	m := dgr.New(dgr.Options{
+		PEs:           *pes,
+		Parallel:      *parallel,
+		Seed:          *seed,
+		SpeculativeIf: *spec,
+		MTEvery:       mtCfg,
+		Timeout:       *timeout,
+	})
+	defer m.Close()
+
+	start := time.Now()
+	v, err := m.Eval(src)
+	elapsed := time.Since(start)
+	if err != nil {
+		if dead := m.Deadlocked(); len(dead) > 0 {
+			fmt.Printf("deadlocked vertices: %v\n", dead)
+		}
+		return err
+	}
+	fmt.Printf("result: %s\n", v)
+	if *stats {
+		s := m.Stats()
+		fmt.Printf("elapsed: %s\n", elapsed)
+		fmt.Printf("stats: %s\n", s)
+		fmt.Printf("heap: %d vertices, %d free\n", m.TotalVertices(), m.FreeVertices())
+	}
+	return nil
+}

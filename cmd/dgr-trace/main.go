@@ -1,0 +1,99 @@
+// Command dgr-trace runs a program (or a builtin scenario) and emits a
+// Graphviz DOT rendering of the computation graph, with deadlocked
+// vertices highlighted — the tool for visually reproducing the paper's
+// figures.
+//
+// Usage:
+//
+//	dgr-trace -e 'let x = x + 1 in x' > graph.dot
+//	dgr-trace -scenario fig32 > fig32.dot
+//	dgr-trace -e '1+2' -phase before > before.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dgr"
+	"dgr/internal/analysis"
+	"dgr/internal/graph"
+	"dgr/internal/trace"
+	"dgr/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dgr-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expr     = flag.String("e", "", "program text")
+		scenario = flag.String("scenario", "", "builtin scenario: fig31 or fig32")
+		phase    = flag.String("phase", "after", "snapshot point: before | after evaluation")
+		pes      = flag.Int("pes", 2, "processing elements")
+		seed     = flag.Int64("seed", 1, "scheduling seed")
+		spec     = flag.Bool("spec", false, "speculative if branches")
+	)
+	flag.Parse()
+
+	switch {
+	case *scenario != "":
+		return dumpScenario(*scenario)
+	case *expr != "":
+		return dumpProgram(*expr, *phase, *pes, *seed, *spec)
+	default:
+		return fmt.Errorf("use -e or -scenario")
+	}
+}
+
+func dumpScenario(name string) error {
+	var sc *workload.Scenario
+	switch name {
+	case "fig31":
+		sc = workload.Fig31(2)
+	case "fig32":
+		sc = workload.Fig32(2)
+	default:
+		return fmt.Errorf("unknown scenario %q (fig31, fig32)", name)
+	}
+	res := analysis.Analyze(sc.Store.Snapshot(), sc.Root, sc.Tasks)
+	hl := map[graph.VertexID]string{}
+	for id := range res.DLv {
+		hl[id] = "salmon"
+	}
+	for id := range res.Gar {
+		hl[id] = "gray80"
+	}
+	fmt.Fprintf(os.Stderr, "scenario %s: |R|=%d |T|=%d |GAR|=%d |DL|=%d\n",
+		name, len(res.R), len(res.T), len(res.Gar), len(res.DLv))
+	return trace.WriteDOT(os.Stdout, sc.Store.Snapshot(), sc.Root, trace.DOTOptions{Highlight: hl})
+}
+
+func dumpProgram(src, phase string, pes int, seed int64, spec bool) error {
+	m := dgr.New(dgr.Options{
+		PEs: pes, Seed: seed, SpeculativeIf: spec, MTEvery: 1, Capacity: 1 << 14,
+	})
+	defer m.Close()
+	root, err := m.Compile(src)
+	if err != nil {
+		return err
+	}
+	if phase == "before" {
+		return trace.WriteDOT(os.Stdout, m.Snapshot(), root, trace.DOTOptions{})
+	}
+	v, evalErr := m.EvalNode(root)
+	if evalErr != nil {
+		fmt.Fprintf(os.Stderr, "evaluation: %v\n", evalErr)
+	} else {
+		fmt.Fprintf(os.Stderr, "result: %s\n", v)
+	}
+	hl := map[graph.VertexID]string{}
+	for _, id := range m.Deadlocked() {
+		hl[id] = "salmon"
+	}
+	return trace.WriteDOT(os.Stdout, m.Snapshot(), root, trace.DOTOptions{Highlight: hl})
+}

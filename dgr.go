@@ -1,0 +1,378 @@
+// Package dgr is a distributed graph-reduction runtime with decentralized
+// concurrent garbage collection, deadlock detection, and dynamic task
+// management — a full implementation of Paul Hudak's "Distributed Task and
+// Memory Management" (PODC 1983).
+//
+// A Machine bundles the computation-graph store, N processing elements,
+// the reduction engine, and the mark/restructure collector. Programs in
+// the small functional language are compiled to Turner-style combinator
+// graphs and reduced demand-driven across the PEs, while the collector's
+// M_R and M_T marking processes run concurrently with the mutation,
+// reclaiming garbage (including cycles), expunging irrelevant speculative
+// tasks, reprioritizing task pools, and reporting deadlocked vertices.
+//
+//	m := dgr.New(dgr.Options{PEs: 4})
+//	defer m.Close()
+//	v, err := m.Eval(`let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 20`)
+package dgr
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dgr/internal/core"
+	"dgr/internal/graph"
+	"dgr/internal/lang"
+	"dgr/internal/metrics"
+	"dgr/internal/reduce"
+	"dgr/internal/sched"
+)
+
+// Re-exported result and identifier types.
+type (
+	// Value is a weak-head-normal-form result.
+	Value = reduce.Value
+	// NodeID identifies a vertex in the machine's computation graph.
+	NodeID = graph.VertexID
+	// Stats is a snapshot of the machine's counters.
+	Stats = metrics.Snapshot
+	// GCReport summarizes one mark/restructure cycle.
+	GCReport = core.CycleReport
+)
+
+// Errors returned by evaluation.
+var (
+	// ErrDeadlock: the computation can never complete; the collector
+	// identified deadlocked vertices (DL_v = R_v − T).
+	ErrDeadlock = errors.New("dgr: computation deadlocked")
+	// ErrStuck: evaluation quiesced without a value and without detected
+	// deadlock — check RuntimeErrors (e.g. type errors).
+	ErrStuck = errors.New("dgr: evaluation stuck")
+	// ErrBudget: the step/time budget was exhausted (likely divergence).
+	ErrBudget = errors.New("dgr: evaluation budget exhausted")
+	// ErrClosed: the machine has been closed.
+	ErrClosed = errors.New("dgr: machine closed")
+)
+
+// Options configures a Machine. The zero value is usable: one PE,
+// deterministic scheduling, no speculation, M_T every 4th cycle.
+type Options struct {
+	// PEs is the number of processing elements (default 1).
+	PEs int
+	// Parallel runs one goroutine per PE plus a background collector;
+	// otherwise the machine is deterministic (seeded) and driven by Eval.
+	Parallel bool
+	// Seed drives deterministic scheduling.
+	Seed int64
+	// SpeculativeIf eagerly evaluates both if branches (§3.2).
+	SpeculativeIf bool
+	// MTEvery runs deadlock detection every k-th GC cycle (default 4;
+	// 0 disables M_T).
+	MTEvery int
+	// Capacity pre-allocates the free list (default 1<<16 vertices).
+	Capacity int
+	// GCInterval is how many deterministic steps run between collector
+	// cycles during Eval (default 20000).
+	GCInterval int
+	// MaxSteps bounds one deterministic Eval (default 200 million).
+	MaxSteps int
+	// Timeout bounds one parallel Eval (default 30s).
+	Timeout time.Duration
+	// Pace idles the parallel collector between cycles (default 100µs).
+	Pace time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.PEs < 1 {
+		o.PEs = 1
+	}
+	if o.MTEvery == 0 {
+		o.MTEvery = 4
+	} else if o.MTEvery < 0 {
+		o.MTEvery = 0
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 1 << 16
+	}
+	if o.GCInterval <= 0 {
+		o.GCInterval = 20000
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 200_000_000
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Pace <= 0 {
+		o.Pace = 100 * time.Microsecond
+	}
+	return o
+}
+
+// Machine is a distributed graph-reduction machine.
+type Machine struct {
+	opts      Options
+	store     *graph.Store
+	mach      *sched.Machine
+	marker    *core.Marker
+	mut       *core.Mutator
+	engine    *reduce.Engine
+	collector *core.Collector
+	counters  *metrics.Counters
+	closed    bool
+}
+
+// New builds a machine. Parallel machines start their PEs and collector
+// immediately; Close must be called to stop them.
+func New(opts Options) *Machine {
+	opts = opts.withDefaults()
+	counters := &metrics.Counters{}
+	store := graph.NewStore(graph.Config{
+		Partitions: opts.PEs,
+		Capacity:   opts.Capacity,
+	})
+	mode := sched.Deterministic
+	if opts.Parallel {
+		mode = sched.Parallel
+	}
+	mach := sched.New(sched.Config{
+		PEs:      opts.PEs,
+		Mode:     mode,
+		Seed:     opts.Seed,
+		PartOf:   store.PartitionOf,
+		Counters: counters,
+	})
+	marker := core.NewMarker(store, mach, counters)
+	mut := core.NewMutator(store, marker, mach, counters)
+	engine := reduce.New(store, mach, mut, reduce.Config{
+		SpeculativeIf: opts.SpeculativeIf,
+		Counters:      counters,
+	})
+	mach.SetHandler(core.NewDispatcher(marker, engine))
+	var collector *core.Collector
+	collector = core.NewCollector(store, marker, mach, counters, core.CollectorConfig{
+		MTEvery: opts.MTEvery,
+		Pace:    opts.Pace,
+		OnDeadlock: func(ids []graph.VertexID) {
+			// Footnote 5: resolve pending is-bottom probes that are
+			// themselves deadlocked, and un-record them (they now have a
+			// value — deliberate non-monotonicity).
+			if resolved := engine.ResolveBottomProbes(ids); len(resolved) > 0 {
+				collector.Forget(resolved)
+			}
+		},
+	})
+	m := &Machine{
+		opts: opts, store: store, mach: mach, marker: marker,
+		mut: mut, engine: engine, collector: collector, counters: counters,
+	}
+	if opts.Parallel {
+		mach.Start()
+	}
+	return m
+}
+
+// Close stops the PEs and the collector of a parallel machine. It is
+// idempotent.
+func (m *Machine) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	if m.opts.Parallel {
+		m.collector.Stop()
+		m.mach.Stop()
+	}
+}
+
+// Compile translates a program to a combinator graph and returns its root.
+func (m *Machine) Compile(src string) (NodeID, error) {
+	if m.closed {
+		return 0, ErrClosed
+	}
+	v, err := lang.CompileString(m.store, src)
+	if err != nil {
+		return 0, err
+	}
+	return v.ID, nil
+}
+
+// Eval compiles and evaluates a program to WHNF.
+func (m *Machine) Eval(src string) (Value, error) {
+	root, err := m.Compile(src)
+	if err != nil {
+		return Value{}, err
+	}
+	return m.EvalNode(root)
+}
+
+// EvalNode evaluates an existing graph node to WHNF, running the collector
+// alongside the reduction.
+func (m *Machine) EvalNode(root NodeID) (Value, error) {
+	if m.closed {
+		return Value{}, ErrClosed
+	}
+	m.collector.SetRoot(root)
+	ch := m.engine.Demand(root)
+	if m.opts.Parallel {
+		return m.waitParallel(ch)
+	}
+	return m.pumpDeterministic(root, ch)
+}
+
+func (m *Machine) pumpDeterministic(root NodeID, ch <-chan Value) (Value, error) {
+	steps := 0
+	quietCycles := 0
+	for steps < m.opts.MaxSteps {
+		n := m.mach.RunUntil(func() bool { return len(ch) > 0 }, m.opts.GCInterval)
+		steps += n
+		select {
+		case v := <-ch:
+			if errs := m.engine.Errors(); len(errs) > 0 {
+				return v, fmt.Errorf("%w: %v", ErrStuck, errs[0])
+			}
+			return v, nil
+		default:
+		}
+		rep := m.collector.RunCycle()
+		if m.mach.Inflight() == 0 {
+			// Quiescent without a value: deadlocked, erroneous, or waiting
+			// on tasks the collector just expunged. Give the detector two
+			// cycles (M_T cadence) before concluding.
+			quietCycles++
+			// A vertex stuck on a runtime (type) error is semantically ⊥
+			// and will be reported deadlocked by M_T/M_R; surface the
+			// error itself as the diagnosis.
+			if errs := m.engine.Errors(); len(errs) > 0 {
+				return Value{}, fmt.Errorf("%w: %v", ErrStuck, errs[0])
+			}
+			if len(m.collector.Deadlocked()) > 0 {
+				return Value{}, fmt.Errorf("%w: %d vertices", ErrDeadlock, len(m.collector.Deadlocked()))
+			}
+			if quietCycles >= maxQuietCycles(m.opts.MTEvery) {
+				return Value{}, ErrStuck
+			}
+		} else {
+			quietCycles = 0
+		}
+		_ = rep
+	}
+	return Value{}, ErrBudget
+}
+
+// maxQuietCycles ensures at least one M_T phase runs while quiescent.
+func maxQuietCycles(mtEvery int) int {
+	if mtEvery <= 0 {
+		return 2
+	}
+	return mtEvery + 1
+}
+
+func (m *Machine) waitParallel(ch <-chan Value) (Value, error) {
+	m.collector.Start()
+	deadline := time.NewTimer(m.opts.Timeout)
+	defer deadline.Stop()
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case v := <-ch:
+			if errs := m.engine.Errors(); len(errs) > 0 {
+				return v, fmt.Errorf("%w: %v", ErrStuck, errs[0])
+			}
+			return v, nil
+		case <-ticker.C:
+			if len(m.collector.Deadlocked()) > 0 && m.mach.Inflight() == 0 {
+				return Value{}, fmt.Errorf("%w: %d vertices", ErrDeadlock, len(m.collector.Deadlocked()))
+			}
+			if m.mach.Inflight() == 0 {
+				if errs := m.engine.Errors(); len(errs) > 0 {
+					return Value{}, fmt.Errorf("%w: %v", ErrStuck, errs[0])
+				}
+			}
+		case <-deadline.C:
+			return Value{}, ErrBudget
+		}
+	}
+}
+
+// EvalList evaluates a program expected to yield a (finite) list, forcing
+// every element.
+func (m *Machine) EvalList(src string) ([]Value, error) {
+	root, err := m.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []Value
+	cur := root
+	for {
+		v, err := m.EvalNode(cur)
+		if err != nil {
+			return out, err
+		}
+		switch v.Kind {
+		case graph.KindNil:
+			return out, nil
+		case graph.KindCons:
+			h, t, ok := m.engine.ConsParts(v.ID)
+			if !ok {
+				return out, fmt.Errorf("dgr: malformed cons at v%d", v.ID)
+			}
+			hv, err := m.EvalNode(h)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, hv)
+			cur = t
+		default:
+			return out, fmt.Errorf("dgr: expected list, got %s", v.Kind)
+		}
+	}
+}
+
+// RunGC runs one explicit mark/restructure cycle (deterministic machines;
+// parallel machines collect continuously while evaluating).
+func (m *Machine) RunGC() GCReport {
+	return m.collector.RunCycle()
+}
+
+// Pump executes up to max tasks on a deterministic machine without running
+// the collector, returning the number executed. It is a low-level hook for
+// harnesses that orchestrate GC themselves.
+func (m *Machine) Pump(max int) int {
+	return m.mach.RunUntil(func() bool { return false }, max)
+}
+
+// Quiescent reports whether no tasks are queued or executing.
+func (m *Machine) Quiescent() bool { return m.mach.Inflight() == 0 }
+
+// DemandNode spawns the initial <-,root> task and returns the channel that
+// will receive the WHNF value — without driving the machine (harness hook;
+// normal callers use EvalNode).
+func (m *Machine) DemandNode(root NodeID) <-chan Value {
+	m.collector.SetRoot(root)
+	return m.engine.Demand(root)
+}
+
+// Stats snapshots the machine's counters.
+func (m *Machine) Stats() Stats { return m.counters.Snapshot() }
+
+// Deadlocked returns every vertex the collector has identified as
+// deadlocked so far.
+func (m *Machine) Deadlocked() []NodeID { return m.collector.Deadlocked() }
+
+// RuntimeErrors returns runtime (type) errors raised by the reduction
+// engine.
+func (m *Machine) RuntimeErrors() []error { return m.engine.Errors() }
+
+// FreeVertices reports |F|, the current size of the free list.
+func (m *Machine) FreeVertices() int { return m.store.FreeCount() }
+
+// TotalVertices reports |V|.
+func (m *Machine) TotalVertices() int { return m.store.Len() }
+
+// Snapshot returns an immutable copy of the current computation graph (for
+// analysis and DOT export). Take it while the machine is quiescent for a
+// consistent picture.
+func (m *Machine) Snapshot() *graph.Snapshot { return m.store.Snapshot() }

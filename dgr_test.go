@@ -1,0 +1,236 @@
+package dgr
+
+import (
+	"errors"
+	"testing"
+
+	"dgr/internal/graph"
+	"dgr/internal/workload"
+)
+
+func TestEvalSimple(t *testing.T) {
+	m := New(Options{PEs: 2, Seed: 1})
+	defer m.Close()
+	v, err := m.Eval("1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != graph.KindInt || v.Int != 7 {
+		t.Fatalf("value = %v, want 7", v)
+	}
+}
+
+func TestEvalCorpus(t *testing.T) {
+	for name, p := range workload.Programs {
+		t.Run(name, func(t *testing.T) {
+			m := New(Options{PEs: 4, Seed: 2})
+			defer m.Close()
+			v, err := m.Eval(p.Src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Int != p.Want {
+				t.Fatalf("%s = %v, want %d", name, v, p.Want)
+			}
+		})
+	}
+}
+
+func TestEvalCorpusSpeculative(t *testing.T) {
+	for name, p := range workload.Programs {
+		if name == "primes" || name == "churn" {
+			continue // speculative infinite-list programs need many GC rounds; covered in benches
+		}
+		t.Run(name, func(t *testing.T) {
+			m := New(Options{PEs: 4, Seed: 3, SpeculativeIf: true, GCInterval: 3000})
+			defer m.Close()
+			v, err := m.Eval(p.Src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Int != p.Want {
+				t.Fatalf("%s = %v, want %d", name, v, p.Want)
+			}
+		})
+	}
+}
+
+func TestEvalParallel(t *testing.T) {
+	m := New(Options{PEs: 4, Parallel: true})
+	defer m.Close()
+	v, err := m.Eval("let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 610 {
+		t.Fatalf("fib 15 = %v", v)
+	}
+	if m.Stats().TasksExecuted == 0 {
+		t.Fatal("no tasks recorded")
+	}
+}
+
+func TestEvalDeadlock(t *testing.T) {
+	m := New(Options{PEs: 2, Seed: 4, MTEvery: 1})
+	defer m.Close()
+	_, err := m.Eval("let x = x + 1 in x")
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	if len(m.Deadlocked()) == 0 {
+		t.Fatal("no deadlocked vertices reported")
+	}
+}
+
+func TestEvalDeadlockDetectionDisabled(t *testing.T) {
+	// With M_T disabled the machine still notices it is stuck, just
+	// without the deadlock diagnosis.
+	m := New(Options{PEs: 1, Seed: 5, MTEvery: -1})
+	defer m.Close()
+	_, err := m.Eval("let x = x + 1 in x")
+	if !errors.Is(err, ErrStuck) {
+		t.Fatalf("err = %v, want ErrStuck", err)
+	}
+}
+
+func TestEvalTypeError(t *testing.T) {
+	m := New(Options{PEs: 1, Seed: 6})
+	defer m.Close()
+	_, err := m.Eval("1 + true")
+	if !errors.Is(err, ErrStuck) {
+		t.Fatalf("err = %v, want ErrStuck", err)
+	}
+	if len(m.RuntimeErrors()) == 0 {
+		t.Fatal("runtime error not surfaced")
+	}
+}
+
+func TestEvalParseError(t *testing.T) {
+	m := New(Options{PEs: 1})
+	defer m.Close()
+	if _, err := m.Eval("1 +"); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+}
+
+func TestEvalBudget(t *testing.T) {
+	m := New(Options{PEs: 1, Seed: 7, MaxSteps: 5000, GCInterval: 1000})
+	defer m.Close()
+	_, err := m.Eval("let loop n = loop (n + 1) in loop 0")
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestEvalList(t *testing.T) {
+	m := New(Options{PEs: 2, Seed: 8})
+	defer m.Close()
+	vals, err := m.EvalList(`let map f xs = if isnil xs then [] else f (head xs) : map f (tail xs)
+	                         in map (\x. x * 10) [1, 2, 3]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0].Int != 10 || vals[1].Int != 20 || vals[2].Int != 30 {
+		t.Fatalf("list = %v", vals)
+	}
+}
+
+func TestGCReclaimsDuringEval(t *testing.T) {
+	m := New(Options{PEs: 2, Seed: 9, GCInterval: 2000, Capacity: 8192})
+	defer m.Close()
+	v, err := m.Eval(workload.Programs["churn"].Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != workload.Programs["churn"].Want {
+		t.Fatalf("churn = %v", v)
+	}
+	s := m.Stats()
+	if s.Reclaimed == 0 {
+		t.Fatal("churn workload should have produced reclaimable garbage")
+	}
+	if s.Cycles == 0 {
+		t.Fatal("no GC cycles ran")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	m := New(Options{PEs: 2, Parallel: true})
+	m.Close()
+	m.Close()
+	if _, err := m.Eval("1"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestStatsAndIntrospection(t *testing.T) {
+	m := New(Options{PEs: 2, Seed: 10, Capacity: 256})
+	defer m.Close()
+	total := m.TotalVertices()
+	free := m.FreeVertices()
+	if total != 256 || free != 256 {
+		t.Fatalf("total=%d free=%d", total, free)
+	}
+	if _, err := m.Eval("2 + 2"); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeVertices() >= free {
+		t.Fatal("allocation did not consume free vertices")
+	}
+	snap := m.Snapshot()
+	if snap.Len() != m.TotalVertices() {
+		t.Fatal("snapshot size mismatch")
+	}
+	rep := m.RunGC()
+	if !rep.Completed {
+		t.Fatal("explicit GC cycle failed")
+	}
+}
+
+func TestDeterministicReproducibility(t *testing.T) {
+	run := func() Stats {
+		m := New(Options{PEs: 3, Seed: 42})
+		defer m.Close()
+		if _, err := m.Eval(workload.Programs["fib"].Src); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats()
+	}
+	a, bS := run(), run()
+	if a.TasksExecuted != bS.TasksExecuted || a.Rewrites != bS.Rewrites {
+		t.Fatalf("deterministic runs diverged: %+v vs %+v", a, bS)
+	}
+}
+
+func TestIsBottomRecovery(t *testing.T) {
+	// Footnote 5: is-bottom allows recovery from a deadlocked
+	// subcomputation. x = x+1 deadlocks; the probe resolves true once the
+	// detector finds it, and the overall program completes.
+	m := New(Options{PEs: 2, Seed: 11, MTEvery: 1})
+	defer m.Close()
+	v, err := m.Eval(`let x = x + 1 in if isbottom x then 0 - 1 else x`)
+	if err != nil {
+		t.Fatalf("recovery failed: %v (deadlocked: %v)", err, m.Deadlocked())
+	}
+	if v.Int != -1 {
+		t.Fatalf("recovered value = %v, want -1", v)
+	}
+	// The probe was forgotten, but the knot itself may remain recorded;
+	// either way the machine keeps working.
+	v2, err := m.Eval("21 * 2")
+	if err != nil || v2.Int != 42 {
+		t.Fatalf("machine unhealthy after recovery: %v %v", v2, err)
+	}
+}
+
+func TestIsBottomFalseOnValue(t *testing.T) {
+	m := New(Options{PEs: 2, Seed: 12, MTEvery: 1})
+	defer m.Close()
+	v, err := m.Eval("if isbottom (2 + 3) then 1 else 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 2 {
+		t.Fatalf("isbottom of a value = %v, want branch 2", v)
+	}
+}

@@ -1,0 +1,58 @@
+// Deadlock detection: Figure 3-1's x = x + 1, found by running the M_T
+// marking process (from the task pools) before M_R (from the root) and
+// reporting DL_v = R_v − T.
+//
+// Note the paper's remark (§6): "a deadlocked system generally does no
+// harm, it just never does any good" — and footnote 5's multi-user point:
+// one deadlocked computation must not take the machine down. This example
+// shows a deadlocked program being diagnosed while the same machine keeps
+// serving healthy programs.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"dgr"
+)
+
+func main() {
+	m := dgr.New(dgr.Options{
+		PEs:     2,
+		Seed:    3,
+		MTEvery: 1, // run deadlock detection every GC cycle
+	})
+	defer m.Close()
+
+	// The knot: x depends vitally on its own value.
+	_, err := m.Eval("let x = x + 1 in x")
+	switch {
+	case errors.Is(err, dgr.ErrDeadlock):
+		fmt.Println("deadlock detected, as it must be:")
+		fmt.Printf("  deadlocked vertices: %v\n", m.Deadlocked())
+	case err == nil:
+		log.Fatal("x = x+1 produced a value?!")
+	default:
+		log.Fatal(err)
+	}
+
+	// Mutual deadlock: two values each awaiting the other.
+	_, err = m.Eval("let a = b + 1; b = a + 1 in a")
+	if !errors.Is(err, dgr.ErrDeadlock) {
+		log.Fatalf("mutual knot: expected deadlock, got %v", err)
+	}
+	fmt.Printf("mutual knot also detected (total deadlocked so far: %d)\n",
+		len(m.Deadlocked()))
+
+	// The machine is unharmed: healthy programs still run to completion.
+	v, err := m.Eval("let fac n = if n == 0 then 1 else n * fac (n-1) in fac 6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("machine still healthy: fac 6 =", v)
+
+	s := m.Stats()
+	fmt.Printf("\nM_T runs: %d of %d GC cycles; deadlocked vertices found: %d\n",
+		s.MTRuns, s.Cycles, s.DeadlockedFound)
+}

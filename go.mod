@@ -1,0 +1,3 @@
+module dgr
+
+go 1.23

@@ -1,0 +1,275 @@
+// Package analysis computes the paper's reachability sets — R, R_v, R_e,
+// R_r, T, GAR, DL_v — and the task classification of Properties 3–6 from an
+// immutable graph snapshot, sequentially and with the world stopped. It is
+// the ground truth against which the concurrent marking algorithm is
+// validated (exact equality in quiesced deterministic runs; the Theorem 1/2
+// containments in concurrent runs).
+package analysis
+
+import (
+	"fmt"
+
+	"dgr/internal/graph"
+	"dgr/internal/task"
+)
+
+// Class is a task classification per Properties 3–6.
+type Class uint8
+
+// Task classes. Other covers tasks whose destination is live but reached
+// only through F-fresh vertices or that target free vertices mid-reuse.
+const (
+	ClassVital      Class = iota + 1 // d ∈ R_v
+	ClassEager                       // d ∈ R_e − R_v
+	ClassReserve                     // d ∈ R_r − R_e − R_v
+	ClassIrrelevant                  // d ∈ GAR = V − R − F
+	ClassOther
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassVital:
+		return "vital"
+	case ClassEager:
+		return "eager"
+	case ClassReserve:
+		return "reserve"
+	case ClassIrrelevant:
+		return "irrelevant"
+	default:
+		return "other"
+	}
+}
+
+// Result holds the computed sets. Set membership is represented as
+// map[VertexID]bool; Prior mirrors mark2's priority labeling: 3 for R_v,
+// 2 for R_e, 1 for R_r, 0 for unreachable.
+//
+// Following the operational semantics of mark2 (Figure 5-1), a vertex's
+// priority is the maximum over all root paths of the minimum arc priority
+// along the path (arcs: vital=3, eager=2, unrequested=1). R_v is the
+// priority-3 set; R_e the priority-2 set (reachable through vital arcs plus
+// at least one eager arc); R_r the priority-1 remainder of R.
+type Result struct {
+	Root  graph.VertexID
+	Prior map[graph.VertexID]uint8
+	R     map[graph.VertexID]bool
+	Rv    map[graph.VertexID]bool
+	Re    map[graph.VertexID]bool
+	Rr    map[graph.VertexID]bool
+	T     map[graph.VertexID]bool
+	F     map[graph.VertexID]bool
+	Gar   map[graph.VertexID]bool
+	DLv   map[graph.VertexID]bool
+}
+
+// Analyze computes every set from the snapshot, the computation root, and
+// the set of unexecuted reduction tasks (the union of the task pools).
+func Analyze(snap *graph.Snapshot, root graph.VertexID, tasks []task.Task) *Result {
+	res := &Result{
+		Root:  root,
+		Prior: make(map[graph.VertexID]uint8),
+		R:     make(map[graph.VertexID]bool),
+		Rv:    make(map[graph.VertexID]bool),
+		Re:    make(map[graph.VertexID]bool),
+		Rr:    make(map[graph.VertexID]bool),
+		T:     make(map[graph.VertexID]bool),
+		F:     make(map[graph.VertexID]bool),
+		Gar:   make(map[graph.VertexID]bool),
+		DLv:   make(map[graph.VertexID]bool),
+	}
+
+	// F: the free set.
+	for i := 1; i < len(snap.Verts); i++ {
+		sv := &snap.Verts[i]
+		if sv.ID == graph.NilVertex {
+			continue
+		}
+		if sv.Kind == graph.KindFree {
+			res.F[sv.ID] = true
+		}
+	}
+
+	res.propagatePriorities(snap)
+	res.traceTasks(snap, tasks)
+
+	// GAR = V − R − F (Property 1).
+	for i := 1; i < len(snap.Verts); i++ {
+		sv := &snap.Verts[i]
+		if sv.ID == graph.NilVertex {
+			continue
+		}
+		if !res.R[sv.ID] && !res.F[sv.ID] {
+			res.Gar[sv.ID] = true
+		}
+	}
+	// DL_v = R_v − T (Property 2′).
+	for id := range res.Rv {
+		if !res.T[id] {
+			res.DLv[id] = true
+		}
+	}
+	return res
+}
+
+// propagatePriorities is the sequential analogue of mark2: max-min priority
+// propagation from the root over args edges.
+func (res *Result) propagatePriorities(snap *graph.Snapshot) {
+	if snap.Vertex(res.Root) == nil {
+		return
+	}
+	res.Prior[res.Root] = graph.PriorVital
+	work := []graph.VertexID{res.Root}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		sv := snap.Vertex(id)
+		if sv == nil {
+			continue
+		}
+		p := res.Prior[id]
+		for i, c := range sv.Args {
+			cp := min(p, sv.ReqKinds[i].Priority())
+			if cp > res.Prior[c] {
+				res.Prior[c] = cp
+				work = append(work, c)
+			}
+		}
+	}
+	for id, p := range res.Prior {
+		res.R[id] = true
+		switch p {
+		case graph.PriorVital:
+			res.Rv[id] = true
+		case graph.PriorEager:
+			res.Re[id] = true
+		case graph.PriorReserve:
+			res.Rr[id] = true
+		}
+	}
+}
+
+// traceTasks computes T: closure over requested(v) ∪ (args(v) − req-args(v))
+// from every task endpoint (both s and d, per the definition of T).
+func (res *Result) traceTasks(snap *graph.Snapshot, tasks []task.Task) {
+	var work []graph.VertexID
+	seed := func(id graph.VertexID) {
+		if id != graph.NilVertex && !res.T[id] {
+			if snap.Vertex(id) != nil {
+				res.T[id] = true
+				work = append(work, id)
+			}
+		}
+	}
+	for _, t := range tasks {
+		if !t.Kind.IsReduction() {
+			continue
+		}
+		seed(t.Src)
+		seed(t.Dst)
+	}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		sv := snap.Vertex(id)
+		if sv == nil {
+			continue
+		}
+		for _, r := range sv.Requested {
+			seed(r.Src)
+		}
+		for i, c := range sv.Args {
+			if sv.ReqKinds[i] == graph.ReqNone {
+				seed(c)
+			}
+		}
+	}
+}
+
+// Classify labels one task per Properties 3–6.
+func (res *Result) Classify(t task.Task) Class {
+	switch {
+	case res.Rv[t.Dst]:
+		return ClassVital
+	case res.Re[t.Dst]:
+		return ClassEager
+	case res.Rr[t.Dst]:
+		return ClassReserve
+	case res.Gar[t.Dst]:
+		return ClassIrrelevant
+	default:
+		return ClassOther
+	}
+}
+
+// ClassifyAll buckets a task list by class.
+func (res *Result) ClassifyAll(tasks []task.Task) map[Class][]task.Task {
+	out := make(map[Class][]task.Task)
+	for _, t := range tasks {
+		if !t.Kind.IsReduction() {
+			continue
+		}
+		c := res.Classify(t)
+		out[c] = append(out[c], t)
+	}
+	return out
+}
+
+// CheckVenn validates the set relationships summarized by Figure 3-3:
+// R is partitioned by R_v, R_e, R_r; F, GAR and R are pairwise disjoint and
+// cover V; DL_v ⊆ R_v. It returns nil when all hold.
+func (res *Result) CheckVenn(snap *graph.Snapshot) error {
+	for id := range res.R {
+		n := 0
+		if res.Rv[id] {
+			n++
+		}
+		if res.Re[id] {
+			n++
+		}
+		if res.Rr[id] {
+			n++
+		}
+		if n != 1 {
+			return fmt.Errorf("v%d in R belongs to %d of {R_v,R_e,R_r}, want exactly 1", id, n)
+		}
+	}
+	for id := range res.Rv {
+		if !res.R[id] {
+			return fmt.Errorf("v%d in R_v but not R", id)
+		}
+	}
+	for i := 1; i < len(snap.Verts); i++ {
+		sv := &snap.Verts[i]
+		if sv.ID == graph.NilVertex {
+			continue
+		}
+		id := sv.ID
+		n := 0
+		if res.R[id] {
+			n++
+		}
+		if res.F[id] {
+			n++
+		}
+		if res.Gar[id] {
+			n++
+		}
+		if n != 1 {
+			return fmt.Errorf("v%d belongs to %d of {R,F,GAR}, want exactly 1", id, n)
+		}
+	}
+	for id := range res.DLv {
+		if !res.Rv[id] || res.T[id] {
+			return fmt.Errorf("v%d in DL_v violates DL_v = R_v − T", id)
+		}
+	}
+	return nil
+}
+
+// Counts reports the cardinalities of the principal sets.
+func (res *Result) Counts() (r, rv, re, rr, t, gar, dl, f int) {
+	return len(res.R), len(res.Rv), len(res.Re), len(res.Rr),
+		len(res.T), len(res.Gar), len(res.DLv), len(res.F)
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"dgr/internal/graph"
+	"dgr/internal/metrics"
+	"dgr/internal/sched"
+	"dgr/internal/task"
+)
+
+// CollectorConfig parameterizes the endless mark/restructure cycles of §4.
+type CollectorConfig struct {
+	// Root is the distinguished root vertex of the computation; M_R marks
+	// from it with priority 3.
+	Root graph.VertexID
+	// MTEvery runs the M_T (deadlock-detection) phase on every k-th cycle;
+	// 0 disables M_T entirely ("in a system where deadlock is of no
+	// concern, M_T may be eliminated altogether", §6). 1 runs it every
+	// cycle.
+	MTEvery int
+	// OnDeadlock, if set, is called with the vertices newly identified as
+	// deadlocked (members of DL'_v = R'_v − T').
+	OnDeadlock func([]graph.VertexID)
+	// Pace, in parallel mode, is the idle delay between cycles.
+	Pace time.Duration
+	// MaxStepsPerPhase bounds the deterministic pump per marking phase
+	// (0 = unlimited). If the bound is hit the phase is abandoned and the
+	// report's Completed flag is false.
+	MaxStepsPerPhase int
+}
+
+// CycleReport summarizes one mark/restructure cycle.
+type CycleReport struct {
+	// Cycle is the 1-based cycle number.
+	Cycle int64
+	// MTRan reports whether the M_T phase executed this cycle.
+	MTRan bool
+	// Completed is false if a marking phase did not finish within the
+	// deterministic step bound.
+	Completed bool
+	// Reclaimed is the number of garbage vertices returned to F.
+	Reclaimed int
+	// Deadlocked lists the vertices identified as deadlocked this cycle.
+	Deadlocked []graph.VertexID
+	// Expunged is the number of irrelevant tasks deleted from the pools.
+	Expunged int
+	// Reprioritized is the number of tasks whose priority band changed.
+	Reprioritized int
+	// Steps is the number of deterministic scheduler steps consumed by the
+	// marking phases (0 in parallel mode).
+	Steps int
+}
+
+// Collector drives the endless cycle: (occasionally M_T, then) M_R, then
+// the restructuring phase that returns garbage to F, expunges irrelevant
+// tasks, reports deadlocked vertices, and reprioritizes the task pools.
+type Collector struct {
+	store    *graph.Store
+	marker   *Marker
+	mach     *sched.Machine
+	counters *metrics.Counters
+	cfg      CollectorConfig
+
+	mu         sync.Mutex
+	cycleN     int64
+	lastTEpoch uint64 // T epoch of the most recent M_T run
+	deadSet    map[graph.VertexID]bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCollector builds a collector. counters may be nil.
+func NewCollector(store *graph.Store, marker *Marker, mach *sched.Machine, counters *metrics.Counters, cfg CollectorConfig) *Collector {
+	return &Collector{
+		store:    store,
+		marker:   marker,
+		mach:     mach,
+		counters: counters,
+		cfg:      cfg,
+		deadSet:  make(map[graph.VertexID]bool),
+	}
+}
+
+// SetRoot changes the computation root (used by harnesses that rebuild the
+// graph between runs).
+func (c *Collector) SetRoot(root graph.VertexID) {
+	c.mu.Lock()
+	c.cfg.Root = root
+	c.mu.Unlock()
+}
+
+// Cycles returns the number of completed cycles.
+func (c *Collector) Cycles() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cycleN
+}
+
+// Forget removes vertices from the stable deadlocked record. It exists for
+// footnote 5's is-bottom recovery, which deliberately violates reduction
+// axiom 4: a resolved probe produces a value after all, so it must not
+// remain recorded (nor re-reported) as deadlocked.
+func (c *Collector) Forget(ids []graph.VertexID) {
+	c.mu.Lock()
+	for _, id := range ids {
+		delete(c.deadSet, id)
+	}
+	c.mu.Unlock()
+}
+
+// Deadlocked returns the accumulated set of vertices ever reported
+// deadlocked (deadlock is stable, reduction axiom 4).
+func (c *Collector) Deadlocked() []graph.VertexID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]graph.VertexID, 0, len(c.deadSet))
+	for id := range c.deadSet {
+		out = append(out, id)
+	}
+	return out
+}
+
+// taskRoots enumerates the marking roots for M_T: the source and
+// destination of every reduction task queued in any pool or currently
+// executing. This realizes the virtual troot whose args are the
+// taskroot_i vertices of §5.2.
+func (c *Collector) taskRoots() []Root {
+	seen := make(map[graph.VertexID]bool)
+	add := func(t task.Task) {
+		if !t.Kind.IsReduction() {
+			return
+		}
+		if t.Src != graph.NilVertex {
+			seen[t.Src] = true
+		}
+		if t.Dst != graph.NilVertex {
+			seen[t.Dst] = true
+		}
+	}
+	for i := 0; i < c.mach.PEs(); i++ {
+		c.mach.Pool(i).Each(add)
+	}
+	for _, t := range c.mach.CurrentTasks() {
+		add(t)
+	}
+	roots := make([]Root, 0, len(seen))
+	for id := range seen {
+		roots = append(roots, Root{ID: id})
+	}
+	return roots
+}
+
+// mtDue reports whether cycle n (1-based) should run M_T.
+func (c *Collector) mtDue(n int64) bool {
+	return c.cfg.MTEvery > 0 && n%int64(c.cfg.MTEvery) == 0
+}
+
+// RunCycle performs one full cycle. In deterministic mode it pumps the
+// scheduler itself (interleaving marking with whatever reduction tasks are
+// queued — this is the concurrent-marking execution); in parallel mode it
+// blocks on the marker's done channels while the PEs run.
+func (c *Collector) RunCycle() CycleReport {
+	c.mu.Lock()
+	c.cycleN++
+	n := c.cycleN
+	root := c.cfg.Root
+	c.mu.Unlock()
+
+	rep := CycleReport{Cycle: n, Completed: true}
+
+	if c.mtDue(n) {
+		roots := c.taskRoots()
+		done := c.marker.StartCycle(graph.CtxT, roots)
+		rep.Steps += c.waitPhase(graph.CtxT, done, &rep)
+		c.mu.Lock()
+		c.lastTEpoch = c.marker.Epoch(graph.CtxT)
+		c.mu.Unlock()
+		rep.MTRan = rep.Completed
+		if c.counters != nil && rep.MTRan {
+			c.counters.MTRuns.Add(1)
+		}
+	}
+
+	if rep.Completed {
+		done := c.marker.StartCycle(graph.CtxR, []Root{{ID: root, Prior: graph.PriorVital}})
+		rep.Steps += c.waitPhase(graph.CtxR, done, &rep)
+	}
+
+	if rep.Completed {
+		c.restructure(&rep)
+		if c.counters != nil {
+			c.counters.Cycles.Add(1)
+		}
+	}
+	return rep
+}
+
+// waitPhase waits for a marking phase to finish, pumping the deterministic
+// scheduler if needed. It returns the deterministic steps consumed.
+func (c *Collector) waitPhase(ctx graph.Ctx, done <-chan struct{}, rep *CycleReport) int {
+	if c.mach.Mode() == sched.Parallel {
+		<-done
+		return 0
+	}
+	steps := c.mach.RunUntil(func() bool { return c.marker.Done(ctx) }, c.cfg.MaxStepsPerPhase)
+	if !c.marker.Done(ctx) {
+		rep.Completed = false
+	}
+	return steps
+}
+
+// restructure is the restructuring phase: sweep garbage to F, detect
+// deadlocked vertices, expunge irrelevant tasks, and reprioritize the task
+// pools from the marked priorities.
+func (c *Collector) restructure(rep *CycleReport) {
+	epochR := c.marker.Epoch(graph.CtxR)
+	c.mu.Lock()
+	epochT := c.lastTEpoch
+	c.mu.Unlock()
+
+	var garbage []*graph.Vertex
+	garbageSet := make(map[graph.VertexID]bool)
+	var dead []graph.VertexID
+
+	c.store.ForEach(func(v *graph.Vertex) {
+		v.Lock()
+		defer v.Unlock()
+		if v.Kind == graph.KindFree {
+			return
+		}
+		if v.Red.AllocEpoch >= epochR {
+			// Allocated during this cycle: from F, not garbage (axiom 1).
+			return
+		}
+		if v.RCtx.StateAt(epochR) == graph.Unmarked {
+			garbage = append(garbage, v)
+			garbageSet[v.ID] = true
+			return
+		}
+		if rep.MTRan &&
+			v.RCtx.PriorAt(epochR) == graph.PriorVital &&
+			v.Red.AllocEpochT < epochT &&
+			v.TCtx.StateAt(epochT) == graph.Unmarked &&
+			!v.IsValueLocked() {
+			// DL'_v = R'_v − T', excluding vertices that already hold
+			// their value (they await nothing; after a computation
+			// completes and the pools drain, T is empty but nothing is
+			// deadlocked).
+			dead = append(dead, v.ID)
+		}
+	})
+
+	// Expunge irrelevant tasks: every task whose destination is garbage
+	// (Property 6: IRR = {<s,d> | d ∈ GAR}). The garbage set was computed
+	// above, so the pool predicate needs no vertex locks (avoiding
+	// pool→vertex lock nesting).
+	for i := 0; i < c.mach.PEs(); i++ {
+		rep.Expunged += c.mach.Expunge(i, func(t task.Task) bool {
+			return t.Kind.IsReduction() && garbageSet[t.Dst]
+		})
+	}
+
+	// Reprioritize surviving demand tasks from the priority their
+	// destination was marked with (§3.2 / §5): 3→vital, 2→eager,
+	// 1→reserve. Destination priorities are pre-read into a map, again to
+	// avoid nested locking from inside the pool.
+	destPrior := make(map[graph.VertexID]uint8)
+	for i := 0; i < c.mach.PEs(); i++ {
+		c.mach.Pool(i).Each(func(t task.Task) {
+			if t.Kind == task.Demand {
+				destPrior[t.Dst] = 0
+			}
+		})
+	}
+	for id := range destPrior {
+		if v := c.store.Vertex(id); v != nil {
+			v.Lock()
+			destPrior[id] = v.RCtx.PriorAt(epochR)
+			v.Unlock()
+		}
+	}
+	for i := 0; i < c.mach.PEs(); i++ {
+		rep.Reprioritized += c.mach.Pool(i).Reprioritize(func(t task.Task) graph.ReqKind {
+			switch destPrior[t.Dst] {
+			case graph.PriorVital:
+				return graph.ReqVital
+			case graph.PriorEager:
+				return graph.ReqEager
+			case graph.PriorReserve:
+				return graph.ReqNone
+			default:
+				return t.Req // unmarked (e.g. allocated mid-cycle): keep
+			}
+		})
+	}
+
+	// Return garbage to the free list.
+	for _, v := range garbage {
+		c.store.Release(v)
+	}
+	rep.Reclaimed = len(garbage)
+
+	// Report newly deadlocked vertices.
+	if len(dead) > 0 {
+		c.mu.Lock()
+		var fresh []graph.VertexID
+		for _, id := range dead {
+			if !c.deadSet[id] {
+				c.deadSet[id] = true
+				fresh = append(fresh, id)
+			}
+		}
+		c.mu.Unlock()
+		rep.Deadlocked = dead
+		if len(fresh) > 0 {
+			if c.counters != nil {
+				c.counters.DeadlockedFound.Add(int64(len(fresh)))
+			}
+			if c.cfg.OnDeadlock != nil {
+				c.cfg.OnDeadlock(fresh)
+			}
+		}
+	}
+
+	if c.counters != nil {
+		c.counters.Reclaimed.Add(int64(rep.Reclaimed))
+		c.counters.Expunged.Add(int64(rep.Expunged))
+		c.counters.Reprioritized.Add(int64(rep.Reprioritized))
+	}
+}
+
+// Start launches the endless collection loop in parallel mode.
+func (c *Collector) Start() {
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.stop = make(chan struct{})
+	stop := c.stop
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.RunCycle()
+			if c.cfg.Pace > 0 {
+				select {
+				case <-stop:
+					return
+				case <-time.After(c.cfg.Pace):
+				}
+			}
+		}
+	}()
+}
+
+// Stop terminates the collection loop after the current cycle and waits for
+// it to exit. It must be called before the machine is stopped (a cycle in
+// progress blocks on marking completion).
+func (c *Collector) Stop() {
+	c.mu.Lock()
+	stop := c.stop
+	c.stop = nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	c.wg.Wait()
+}

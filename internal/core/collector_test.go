@@ -1,0 +1,380 @@
+package core
+
+import (
+	"testing"
+
+	"dgr/internal/graph"
+	"dgr/internal/sched"
+	"dgr/internal/task"
+)
+
+// parkReducer re-spawns demand tasks unchanged so they stay in the pools
+// for the duration of a collector cycle (static-scenario stand-in for the
+// reduction engine).
+func parkReducer(mach *sched.Machine) sched.Handler {
+	return sched.HandlerFunc(func(t task.Task) {
+		if t.Kind == task.Demand {
+			mach.Spawn(t)
+		}
+	})
+}
+
+func newCollectorRig(t *testing.T, pes int, seed int64, cfg CollectorConfig) (*rig, *Collector) {
+	r := newRig(t, pes, seed, false)
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, cfg)
+	return r, col
+}
+
+func TestCollectorReclaimsGarbage(t *testing.T) {
+	r, _ := newCollectorRig(t, 2, 1, CollectorConfig{})
+	root := r.vertex(graph.KindApply)
+	live := r.vertex(graph.KindInt)
+	g1 := r.vertex(graph.KindApply)
+	g2 := r.vertex(graph.KindInt)
+	r.edge(root, live, graph.ReqVital)
+	r.edge(g1, g2, graph.ReqVital) // unreachable pair
+
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{Root: root.ID})
+	freeBefore := r.store.FreeCount()
+	rep := col.RunCycle()
+	if !rep.Completed {
+		t.Fatal("cycle incomplete")
+	}
+	if rep.Reclaimed != 2 {
+		t.Fatalf("reclaimed = %d, want 2", rep.Reclaimed)
+	}
+	if got := r.store.FreeCount(); got != freeBefore+2 {
+		t.Fatalf("free count = %d, want %d", got, freeBefore+2)
+	}
+	if !r.store.IsFree(g1.ID) || !r.store.IsFree(g2.ID) {
+		t.Fatal("garbage vertices not freed")
+	}
+	if r.store.IsFree(root.ID) || r.store.IsFree(live.ID) {
+		t.Fatal("live vertices were freed")
+	}
+}
+
+func TestCollectorReclaimsCyclicGarbage(t *testing.T) {
+	// The capability reference counting lacks (§4): self-referencing
+	// structures are reclaimed by marking.
+	r, _ := newCollectorRig(t, 2, 2, CollectorConfig{})
+	root := r.vertex(graph.KindApply)
+	c1 := r.vertex(graph.KindApply)
+	c2 := r.vertex(graph.KindApply)
+	c3 := r.vertex(graph.KindApply)
+	r.edge(c1, c2, graph.ReqVital)
+	r.edge(c2, c3, graph.ReqVital)
+	r.edge(c3, c1, graph.ReqVital) // 3-cycle, unreachable
+	selfy := r.vertex(graph.KindApply)
+	r.edge(selfy, selfy, graph.ReqVital)
+
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{Root: root.ID})
+	rep := col.RunCycle()
+	if rep.Reclaimed != 4 {
+		t.Fatalf("reclaimed = %d, want 4 (cycle of 3 + self-loop)", rep.Reclaimed)
+	}
+}
+
+func TestCollectorMultipleCycles(t *testing.T) {
+	r, _ := newCollectorRig(t, 2, 3, CollectorConfig{})
+	root := r.vertex(graph.KindApply)
+	keep := r.vertex(graph.KindApply)
+	r.edge(root, keep, graph.ReqVital)
+
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{Root: root.ID})
+	for i := 0; i < 3; i++ {
+		col.RunCycle()
+	}
+	if got := col.Cycles(); got != 3 {
+		t.Fatalf("cycles = %d", got)
+	}
+
+	// Disconnect keep; the next cycle reclaims it.
+	r.mut.DeleteReference(root, keep)
+	rep := col.RunCycle()
+	if rep.Reclaimed != 1 {
+		t.Fatalf("reclaimed = %d, want 1", rep.Reclaimed)
+	}
+	if !r.store.IsFree(keep.ID) {
+		t.Fatal("keep not freed after disconnect")
+	}
+}
+
+func TestCollectorDeadlockDetection(t *testing.T) {
+	r := newRig(t, 2, 4, false)
+	root := r.vertex(graph.KindApply)
+	// Deadlocked region: root vitally depends on w; w vitally depends on
+	// itself (the x = x+1 knot of Figure 3-1); no task can reach them.
+	w := r.vertex(graph.KindApply)
+	r.edge(root, w, graph.ReqVital)
+	r.edge(w, w, graph.ReqVital)
+	w.Lock()
+	w.AddRequester(root.ID, graph.ReqVital)
+	w.AddRequester(w.ID, graph.ReqVital)
+	w.Unlock()
+
+	// Live region: a queued task keeps live1/live2 task-reachable.
+	live1 := r.vertex(graph.KindApply)
+	live2 := r.vertex(graph.KindApply)
+	r.edge(root, live1, graph.ReqVital)
+	r.edge(live1, live2, graph.ReqVital)
+	live2.Lock()
+	live2.AddRequester(live1.ID, graph.ReqVital)
+	live2.Unlock()
+
+	// Install a parking reducer so the demand stays pooled.
+	r.mach.SetHandler(NewDispatcher(r.marker, parkReducer(r.mach)))
+	r.mach.Spawn(task.Task{Kind: task.Demand, Src: live1.ID, Dst: live2.ID, Req: graph.ReqVital})
+	// The root has an implicit task awaiting its value (<-,root>).
+	r.mach.Spawn(task.Task{Kind: task.Demand, Src: graph.NilVertex, Dst: root.ID, Req: graph.ReqVital})
+
+	var reported []graph.VertexID
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{
+		Root:    root.ID,
+		MTEvery: 1,
+		OnDeadlock: func(ids []graph.VertexID) {
+			reported = append(reported, ids...)
+		},
+	})
+	rep := col.RunCycle()
+	if !rep.MTRan {
+		t.Fatal("M_T did not run")
+	}
+	want := map[graph.VertexID]bool{w.ID: true}
+	if len(reported) != 1 || !want[reported[0]] {
+		t.Fatalf("deadlocked = %v, want exactly [%d]", reported, w.ID)
+	}
+	// Stability: a second cycle re-detects but does not re-report.
+	reported = nil
+	col.RunCycle()
+	if len(reported) != 0 {
+		t.Fatalf("deadlocked re-reported: %v", reported)
+	}
+	if got := col.Deadlocked(); len(got) != 1 || got[0] != w.ID {
+		t.Fatalf("accumulated deadlocked = %v", got)
+	}
+}
+
+func TestCollectorNoMTNoDeadlockReports(t *testing.T) {
+	// With MTEvery=0, M_T never runs and deadlock is never reported
+	// ("in a system where deadlock is of no concern, M_T may be eliminated
+	// altogether", §6).
+	r := newRig(t, 1, 5, false)
+	root := r.vertex(graph.KindApply)
+	w := r.vertex(graph.KindApply)
+	r.edge(root, w, graph.ReqVital)
+	r.edge(w, w, graph.ReqVital)
+
+	called := false
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{
+		Root:       root.ID,
+		OnDeadlock: func([]graph.VertexID) { called = true },
+	})
+	rep := col.RunCycle()
+	if rep.MTRan || called || len(rep.Deadlocked) != 0 {
+		t.Fatalf("unexpected deadlock machinery: %+v called=%v", rep, called)
+	}
+}
+
+func TestCollectorMTEveryK(t *testing.T) {
+	r := newRig(t, 1, 6, false)
+	root := r.vertex(graph.KindApply)
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{
+		Root:    root.ID,
+		MTEvery: 3,
+	})
+	mtRuns := 0
+	for i := 0; i < 9; i++ {
+		if col.RunCycle().MTRan {
+			mtRuns++
+		}
+	}
+	if mtRuns != 3 {
+		t.Fatalf("MT ran %d times in 9 cycles with MTEvery=3, want 3", mtRuns)
+	}
+}
+
+func TestCollectorExpungesIrrelevantTasks(t *testing.T) {
+	r := newRig(t, 2, 7, false)
+	root := r.vertex(graph.KindApply)
+	live := r.vertex(graph.KindApply)
+	r.edge(root, live, graph.ReqVital)
+	gar := r.vertex(graph.KindApply) // unreachable: tasks to it are irrelevant
+
+	r.mach.SetHandler(NewDispatcher(r.marker, parkReducer(r.mach)))
+	r.mach.Spawn(task.Task{Kind: task.Demand, Src: root.ID, Dst: live.ID, Req: graph.ReqVital})
+	r.mach.Spawn(task.Task{Kind: task.Demand, Src: root.ID, Dst: gar.ID, Req: graph.ReqEager})
+	r.mach.Spawn(task.Task{Kind: task.Demand, Src: live.ID, Dst: gar.ID, Req: graph.ReqEager})
+
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{Root: root.ID})
+	rep := col.RunCycle()
+	if rep.Expunged != 2 {
+		t.Fatalf("expunged = %d, want 2", rep.Expunged)
+	}
+	if rep.Reclaimed != 1 {
+		t.Fatalf("reclaimed = %d, want 1 (gar)", rep.Reclaimed)
+	}
+	// The surviving task is the one to live.
+	left := 0
+	for i := 0; i < r.mach.PEs(); i++ {
+		r.mach.Pool(i).Each(func(tk task.Task) {
+			if tk.Kind == task.Demand {
+				left++
+				if tk.Dst != live.ID {
+					t.Errorf("surviving task %v should target live", tk)
+				}
+			}
+		})
+	}
+	if left != 1 {
+		t.Fatalf("surviving demands = %d, want 1", left)
+	}
+}
+
+func TestCollectorReprioritizesTasks(t *testing.T) {
+	r := newRig(t, 1, 8, false)
+	root := r.vertex(graph.KindApply)
+	d := r.vertex(graph.KindApply)
+	// d is reachable only through an eager arc: its marked priority is 2.
+	r.edge(root, d, graph.ReqEager)
+	d.Lock()
+	d.AddRequester(root.ID, graph.ReqEager)
+	d.Unlock()
+
+	r.mach.SetHandler(NewDispatcher(r.marker, parkReducer(r.mach)))
+	// The queued demand claims to be vital; restructuring must downgrade it
+	// to eager (prior(d) = 2).
+	r.mach.Spawn(task.Task{Kind: task.Demand, Src: root.ID, Dst: d.ID, Req: graph.ReqVital})
+
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{Root: root.ID})
+	rep := col.RunCycle()
+	if rep.Reprioritized != 1 {
+		t.Fatalf("reprioritized = %d, want 1", rep.Reprioritized)
+	}
+	found := false
+	r.mach.Pool(0).Each(func(tk task.Task) {
+		if tk.Kind == task.Demand && tk.Dst == d.ID {
+			found = true
+			if tk.Req != graph.ReqEager {
+				t.Errorf("task req = %v, want eager", tk.Req)
+			}
+		}
+	})
+	if !found {
+		t.Fatal("demand task disappeared")
+	}
+}
+
+func TestCollectorFreshAllocationsSurviveCycle(t *testing.T) {
+	// A vertex allocated during the marking phase is unreachable and
+	// unmarked, but must not be reclaimed this cycle (reduction axiom 1).
+	r := newRig(t, 1, 9, false)
+	root := r.vertex(graph.KindApply)
+	chain := root
+	for i := 0; i < 8; i++ {
+		nxt := r.vertex(graph.KindApply)
+		r.edge(chain, nxt, graph.ReqVital)
+		chain = nxt
+	}
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{Root: root.ID})
+
+	// Drive the cycle manually: start M_R, allocate mid-marking, finish.
+	var fresh *graph.Vertex
+	c := col
+	c.mu.Lock()
+	c.cycleN++
+	c.mu.Unlock()
+	done := r.marker.StartCycle(graph.CtxR, []Root{{ID: root.ID, Prior: graph.PriorVital}})
+	_ = done
+	for i := 0; i < 3; i++ {
+		r.mach.Step()
+	}
+	var err error
+	fresh, err = r.mut.Alloc(0, graph.KindApply, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mach.RunUntil(func() bool { return r.marker.Done(graph.CtxR) }, 100000)
+	rep := CycleReport{Cycle: 1, Completed: true}
+	col.restructure(&rep)
+
+	if r.store.IsFree(fresh.ID) {
+		t.Fatal("fresh allocation reclaimed in its birth cycle")
+	}
+	if rep.Reclaimed != 0 {
+		t.Fatalf("reclaimed = %d, want 0", rep.Reclaimed)
+	}
+
+	// The NEXT full cycle reclaims it (still unreachable).
+	rep2 := col.RunCycle()
+	if rep2.Reclaimed != 1 || !r.store.IsFree(fresh.ID) {
+		t.Fatalf("second cycle reclaimed = %d (free=%v), want 1", rep2.Reclaimed, r.store.IsFree(fresh.ID))
+	}
+}
+
+func TestCollectorStepBound(t *testing.T) {
+	r := newRig(t, 1, 10, false)
+	root := r.vertex(graph.KindApply)
+	chain := root
+	for i := 0; i < 50; i++ {
+		nxt := r.vertex(graph.KindApply)
+		r.edge(chain, nxt, graph.ReqVital)
+		chain = nxt
+	}
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{
+		Root:             root.ID,
+		MaxStepsPerPhase: 5, // far too few
+	})
+	rep := col.RunCycle()
+	if rep.Completed {
+		t.Fatal("cycle should have been abandoned")
+	}
+	if rep.Reclaimed != 0 {
+		t.Fatal("abandoned cycle must not reclaim")
+	}
+}
+
+func TestCollectorReprioritizesToReserve(t *testing.T) {
+	// A destination reachable only through an unrequested arc is marked
+	// with priority 1; its queued demand drops to the reserve band
+	// (Property 5's reserve tasks get the lowest scheduling priority).
+	r := newRig(t, 1, 11, false)
+	root := r.vertex(graph.KindApply)
+	d := r.vertex(graph.KindApply)
+	r.edge(root, d, graph.ReqNone)
+
+	r.mach.SetHandler(NewDispatcher(r.marker, parkReducer(r.mach)))
+	r.mach.Spawn(task.Task{Kind: task.Demand, Src: root.ID, Dst: d.ID, Req: graph.ReqVital})
+
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{Root: root.ID})
+	rep := col.RunCycle()
+	if rep.Reprioritized != 1 {
+		t.Fatalf("reprioritized = %d, want 1", rep.Reprioritized)
+	}
+	found := false
+	r.mach.Pool(0).Each(func(tk task.Task) {
+		if tk.Kind == task.Demand && tk.Dst == d.ID {
+			found = true
+			if tk.Req != graph.ReqNone || tk.Band != task.BandReserve {
+				t.Errorf("task req=%v band=%d, want reserve", tk.Req, tk.Band)
+			}
+		}
+	})
+	if !found {
+		t.Fatal("demand task disappeared")
+	}
+}
+
+func TestCollectorForget(t *testing.T) {
+	r := newRig(t, 1, 12, false)
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{})
+	col.mu.Lock()
+	col.deadSet[7] = true
+	col.deadSet[9] = true
+	col.mu.Unlock()
+	col.Forget([]graph.VertexID{7})
+	got := col.Deadlocked()
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("after Forget: %v", got)
+	}
+}

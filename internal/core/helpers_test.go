@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"dgr/internal/graph"
+	"dgr/internal/metrics"
+	"dgr/internal/sched"
+)
+
+// rig bundles a store, machine, marker and mutator for marking tests.
+type rig struct {
+	t        *testing.T
+	store    *graph.Store
+	mach     *sched.Machine
+	marker   *Marker
+	mut      *Mutator
+	counters *metrics.Counters
+}
+
+// newRig builds a deterministic test rig.
+func newRig(t *testing.T, pes int, seed int64, adversarial bool) *rig {
+	t.Helper()
+	store := graph.NewStore(graph.Config{Partitions: pes, Capacity: 64})
+	counters := &metrics.Counters{}
+	mach := sched.New(sched.Config{
+		PEs:         pes,
+		Mode:        sched.Deterministic,
+		Seed:        seed,
+		Adversarial: adversarial,
+		PartOf:      store.PartitionOf,
+		Counters:    counters,
+	})
+	marker := NewMarker(store, mach, counters)
+	mach.SetHandler(NewDispatcher(marker, nil))
+	mut := NewMutator(store, marker, mach, counters)
+	return &rig{t: t, store: store, mach: mach, marker: marker, mut: mut, counters: counters}
+}
+
+// vertex allocates a vertex of the given kind.
+func (r *rig) vertex(kind graph.Kind) *graph.Vertex {
+	r.t.Helper()
+	v, err := r.store.Alloc(0, kind, 0)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return v
+}
+
+// edge wires parent→child with the given request kind (setup only: no
+// marking cooperation).
+func (r *rig) edge(parent, child *graph.Vertex, rk graph.ReqKind) {
+	parent.Lock()
+	parent.AddArg(child.ID, rk)
+	parent.Unlock()
+}
+
+// request registers child ∈ requested(parent)... i.e. records that src
+// requested dst's value (setup only).
+func (r *rig) request(src, dst *graph.Vertex, rk graph.ReqKind) {
+	dst.Lock()
+	dst.AddRequester(src.ID, rk)
+	dst.Unlock()
+}
+
+// runCycle starts a marking cycle for ctx from the given roots and pumps
+// the deterministic machine until it completes, failing the test if it does
+// not terminate within a generous bound.
+func (r *rig) runCycle(ctx graph.Ctx, roots ...Root) {
+	r.t.Helper()
+	r.marker.StartCycle(ctx, roots)
+	r.mach.RunUntil(func() bool { return r.marker.Done(ctx) }, 1_000_000)
+	if !r.marker.Done(ctx) {
+		r.t.Fatalf("marking ctx %v did not terminate", ctx)
+	}
+	if n := r.marker.UnderflowCount(ctx); n != 0 {
+		r.t.Fatalf("mt-cnt underflows: %d", n)
+	}
+}
+
+// stateOf returns the vertex's marking state in ctx at the current epoch.
+func (r *rig) stateOf(v *graph.Vertex, ctx graph.Ctx) graph.MarkState {
+	v.Lock()
+	defer v.Unlock()
+	return v.CtxOf(ctx).StateAt(r.marker.Epoch(ctx))
+}
+
+// priorOf returns the vertex's marked priority in ctx R.
+func (r *rig) priorOf(v *graph.Vertex) uint8 {
+	v.Lock()
+	defer v.Unlock()
+	return v.RCtx.PriorAt(r.marker.Epoch(graph.CtxR))
+}
+
+// assertMarked fails unless every vertex is Marked in ctx.
+func (r *rig) assertMarked(ctx graph.Ctx, vs ...*graph.Vertex) {
+	r.t.Helper()
+	for _, v := range vs {
+		if st := r.stateOf(v, ctx); st != graph.Marked {
+			r.t.Errorf("v%d state = %v, want marked", v.ID, st)
+		}
+	}
+}
+
+// assertUnmarked fails unless every vertex is Unmarked in ctx.
+func (r *rig) assertUnmarked(ctx graph.Ctx, vs ...*graph.Vertex) {
+	r.t.Helper()
+	for _, v := range vs {
+		if st := r.stateOf(v, ctx); st != graph.Unmarked {
+			r.t.Errorf("v%d state = %v, want unmarked", v.ID, st)
+		}
+	}
+}
+
+// assertNoViolations runs the invariant checker and fails on any violation.
+func (r *rig) assertNoViolations(ctx graph.Ctx) {
+	r.t.Helper()
+	for _, err := range CheckInvariants(r.store, r.marker, r.mach, ctx) {
+		r.t.Errorf("invariant violation: %v", err)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"dgr/internal/graph"
+)
+
+func TestCollapseToIndOutsideMarking(t *testing.T) {
+	r := newRig(t, 1, 1, false)
+	v := r.vertex(graph.KindApply)
+	mid := r.vertex(graph.KindApply)
+	c := r.vertex(graph.KindInt)
+	r.edge(v, mid, graph.ReqVital)
+	r.edge(mid, c, graph.ReqVital)
+
+	r.mut.CollapseToInd(v, c)
+	v.Lock()
+	defer v.Unlock()
+	if v.Kind != graph.KindInd || len(v.Args) != 1 || v.Args[0] != c.ID {
+		t.Fatalf("collapse: %+v", v)
+	}
+}
+
+// TestCollapseToIndDuringMarking sweeps the K-reduction rewrite (collapse
+// to a deep descendant) across marking interleavings: c must never be lost.
+func TestCollapseToIndDuringMarking(t *testing.T) {
+	for mutateAt := 0; mutateAt < 10; mutateAt++ {
+		for seed := int64(0); seed < 6; seed++ {
+			r := newRig(t, 2, seed, true)
+			root := r.vertex(graph.KindApply)
+			v := r.vertex(graph.KindApply)
+			mid := r.vertex(graph.KindApply)
+			c := r.vertex(graph.KindInt)
+			other := r.vertex(graph.KindApply) // widens the cycle window
+			r.edge(root, v, graph.ReqVital)
+			r.edge(root, other, graph.ReqVital)
+			chain := other
+			for i := 0; i < 5; i++ {
+				nxt := r.vertex(graph.KindApply)
+				r.edge(chain, nxt, graph.ReqVital)
+				chain = nxt
+			}
+			r.edge(v, mid, graph.ReqVital)
+			r.edge(mid, c, graph.ReqVital)
+
+			r.marker.StartCycle(graph.CtxR, []Root{{ID: root.ID, Prior: graph.PriorVital}})
+			steps, mutated := 0, false
+			for !r.marker.Done(graph.CtxR) {
+				if steps == mutateAt && !mutated {
+					r.mut.CollapseToInd(v, c) // drops v→mid; mid becomes garbage
+					mutated = true
+				}
+				if !r.mach.Step() {
+					break
+				}
+				steps++
+			}
+			if !mutated || !r.marker.Done(graph.CtxR) {
+				continue
+			}
+			if st := r.stateOf(c, graph.CtxR); st != graph.Marked {
+				t.Fatalf("mutateAt=%d seed=%d: c lost (state %v)", mutateAt, seed, st)
+			}
+			if n := r.marker.UnderflowCount(graph.CtxR); n != 0 {
+				t.Fatalf("mutateAt=%d seed=%d: underflows %d", mutateAt, seed, n)
+			}
+		}
+	}
+}
+
+func TestMakeSelfKnotIdempotent(t *testing.T) {
+	r := newRig(t, 1, 1, false)
+	v := r.vertex(graph.KindApply)
+	r.mut.MakeSelfKnot(v)
+	r.mut.MakeSelfKnot(v)
+	v.Lock()
+	defer v.Unlock()
+	count := 0
+	for _, a := range v.Args {
+		if a == v.ID {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("self edges = %d, want 1", count)
+	}
+	if len(v.Requested) != 1 || v.Requested[0].Src != v.ID {
+		t.Fatalf("requested = %v", v.Requested)
+	}
+}
+
+func TestAddRequesterCoopUpgrade(t *testing.T) {
+	r := newRig(t, 1, 1, false)
+	x := r.vertex(graph.KindApply)
+	y := r.vertex(graph.KindApply)
+
+	r.mut.AddRequesterCoop(y, x, graph.ReqEager)
+	r.mut.AddRequesterCoop(y, x, graph.ReqVital) // upgrade, no duplicate
+	r.mut.AddRequesterCoop(y, x, graph.ReqEager) // no downgrade
+	y.Lock()
+	defer y.Unlock()
+	if len(y.Requested) != 1 {
+		t.Fatalf("requesters = %v", y.Requested)
+	}
+	if y.Requested[0].Kind != graph.ReqVital {
+		t.Fatalf("kind = %v, want vital", y.Requested[0].Kind)
+	}
+}
+
+func TestRewriteSelfReference(t *testing.T) {
+	// The Y-combinator shape: v rewired to reference itself must not
+	// deadlock the primitive or corrupt marking.
+	r := newRig(t, 1, 2, false)
+	root := r.vertex(graph.KindApply)
+	v := r.vertex(graph.KindApply)
+	f := r.vertex(graph.KindComb)
+	r.edge(root, v, graph.ReqVital)
+	r.edge(v, f, graph.ReqVital)
+
+	r.marker.StartCycle(graph.CtxR, []Root{{ID: root.ID, Prior: graph.PriorVital}})
+	r.mach.Step()
+	r.mut.Rewrite(v, nil, []*graph.Vertex{f}, func() {
+		v.Args = append(v.Args[:0], f.ID, v.ID)
+		v.ReqKinds = append(v.ReqKinds[:0], graph.ReqNone, graph.ReqNone)
+	})
+	r.mach.RunUntil(func() bool { return r.marker.Done(graph.CtxR) }, 100000)
+	if !r.marker.Done(graph.CtxR) {
+		t.Fatal("marking did not terminate over self-edge")
+	}
+	r.assertMarked(graph.CtxR, root, v, f)
+}
+
+func TestRewriteFreshUnderActiveMT(t *testing.T) {
+	// Rewrites during M_T must restamp fresh vertices so the deadlock
+	// detector ignores them this cycle.
+	r := newRig(t, 1, 3, false)
+	start := r.vertex(graph.KindApply)
+	chain := start
+	for i := 0; i < 5; i++ {
+		nxt := r.vertex(graph.KindApply)
+		r.edge(chain, nxt, graph.ReqNone)
+		chain = nxt
+	}
+	r.marker.StartCycle(graph.CtxT, []Root{{ID: start.ID}})
+	r.mach.Step()
+
+	n1, err := r.mut.Alloc(0, graph.KindApply, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mut.Rewrite(chain, []*graph.Vertex{n1}, nil, func() {
+		chain.AddArg(n1.ID, graph.ReqNone)
+	})
+	n1.Lock()
+	stampT := n1.Red.AllocEpochT
+	n1.Unlock()
+	if stampT != r.marker.Epoch(graph.CtxT) {
+		t.Fatalf("fresh vertex T-stamp %d, want %d", stampT, r.marker.Epoch(graph.CtxT))
+	}
+	r.mach.RunUntil(func() bool { return r.marker.Done(graph.CtxT) }, 100000)
+}

@@ -1,0 +1,150 @@
+package graph
+
+import "fmt"
+
+// Comb enumerates the combinators used by the reduction engine. The lang
+// compiler performs Turner-style bracket abstraction into this basis; the
+// reduce package implements one graph-rewrite rule per combinator, each
+// expressed through the cooperating mutator primitives.
+type Comb int64
+
+// The combinator basis. S' (SP), B' (BP) and C' (CP) are Turner's optimized
+// three-argument director combinators; Y builds cyclic recursion knots.
+const (
+	CombS Comb = iota + 1
+	CombK
+	CombI
+	CombB
+	CombC
+	CombSP // S' f g x y -> (f (g y)) (x y) applied under a shared head
+	CombBP // B' f g x y -> f g (x y)
+	CombCP // C' f g x y -> f (g y) x
+	CombY  // Y f -> f (Y f), implemented as a cyclic knot
+)
+
+var combNames = [...]string{
+	CombS:  "S",
+	CombK:  "K",
+	CombI:  "I",
+	CombB:  "B",
+	CombC:  "C",
+	CombSP: "S'",
+	CombBP: "B'",
+	CombCP: "C'",
+	CombY:  "Y",
+}
+
+// String returns the conventional combinator name.
+func (c Comb) String() string {
+	if c > 0 && int(c) < len(combNames) {
+		return combNames[c]
+	}
+	return fmt.Sprintf("comb(%d)", int64(c))
+}
+
+// Arity returns the number of arguments the combinator consumes.
+func (c Comb) Arity() int {
+	switch c {
+	case CombI, CombY:
+		return 1
+	case CombK:
+		return 2
+	case CombB, CombC, CombS:
+		return 3
+	case CombSP, CombBP, CombCP:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Prim enumerates the strict primitive operators. Each is reduced by the
+// engine after demanding the values of its strict arguments; If additionally
+// supports eager (speculative) evaluation of its branches.
+type Prim int64
+
+// Primitive operator codes.
+const (
+	PrimAdd Prim = iota + 1
+	PrimSub
+	PrimMul
+	PrimDiv
+	PrimMod
+	PrimNeg
+	PrimEq
+	PrimNe
+	PrimLt
+	PrimLe
+	PrimGt
+	PrimGe
+	PrimAnd // strict boolean and
+	PrimOr  // strict boolean or
+	PrimNot
+	PrimIf      // if c t e: strict in c only; t and e may be eagerly requested
+	PrimCons    // lazy pair constructor
+	PrimHead    // strict in its pair argument
+	PrimTail    // strict in its pair argument
+	PrimIsNil   // strict list test
+	PrimIsPair  // strict pair test
+	PrimSeq     // seq a b: force a, return b
+	PrimSpec    // spec a b: eagerly (speculatively) request a, return b
+	PrimPar     // par a b: eagerly request a AND b vitally in parallel, return b after both
+	PrimBottom  // ⊥: a vertex whose demand never returns (self-dependency)
+	PrimIsBotOp // is-bottom probe from footnote 5 (diagnostic; resolved by the deadlock detector)
+)
+
+var primNames = map[Prim]string{
+	PrimAdd: "+", PrimSub: "-", PrimMul: "*", PrimDiv: "/", PrimMod: "%",
+	PrimNeg: "neg", PrimEq: "=", PrimNe: "/=", PrimLt: "<", PrimLe: "<=",
+	PrimGt: ">", PrimGe: ">=", PrimAnd: "and", PrimOr: "or", PrimNot: "not",
+	PrimIf: "if", PrimCons: "cons", PrimHead: "head", PrimTail: "tail",
+	PrimIsNil: "nil?", PrimIsPair: "pair?", PrimSeq: "seq", PrimSpec: "spec",
+	PrimPar: "par", PrimBottom: "bottom", PrimIsBotOp: "is-bottom",
+}
+
+// String returns the surface-syntax name of the primitive.
+func (p Prim) String() string {
+	if s, ok := primNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("prim(%d)", int64(p))
+}
+
+// Arity returns the number of arguments the primitive consumes.
+func (p Prim) Arity() int {
+	switch p {
+	case PrimNeg, PrimNot, PrimHead, PrimTail, PrimIsNil, PrimIsPair, PrimIsBotOp:
+		return 1
+	case PrimIf:
+		return 3
+	case PrimBottom:
+		return 0
+	default:
+		return 2
+	}
+}
+
+// StrictArgs returns the indexes (into the fully applied argument list) the
+// primitive is strict in — the arguments whose values must be vitally
+// requested before the primitive can reduce.
+func (p Prim) StrictArgs() []int {
+	switch p {
+	case PrimIf:
+		return []int{0}
+	case PrimCons:
+		return nil
+	case PrimSeq, PrimSpec:
+		return []int{0}
+	case PrimPar:
+		return []int{0, 1}
+	case PrimBottom:
+		return nil
+	default:
+		n := p.Arity()
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+}

@@ -1,0 +1,328 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNoFreeVertices is returned by Alloc when the free set F is exhausted
+// and the store was configured not to grow.
+var ErrNoFreeVertices = errors.New("graph: free list exhausted")
+
+// Config parameterizes a Store.
+type Config struct {
+	// Partitions is the number of subgraph partitions (one per PE). Must be
+	// at least 1.
+	Partitions int
+	// Capacity is the initial number of vertices pre-allocated into the
+	// free lists (spread round-robin across partitions).
+	Capacity int
+	// FixedSize, when true, makes Alloc fail with ErrNoFreeVertices instead
+	// of growing the vertex arena when F is empty. The paper's model has a
+	// fixed finite V; benchmarks that study reclamation use FixedSize.
+	FixedSize bool
+}
+
+// Arena segmentation: vertex lookups are the hottest operation in the
+// whole system (every task execution does several), so the arena is a
+// lock-free two-level table — an atomically published slice of fixed-size
+// segments. Readers never take a lock; the store mutex guards only
+// appends and the free lists.
+const (
+	segBits = 12
+	segSize = 1 << segBits
+	segMask = segSize - 1
+)
+
+type segment [segSize]*Vertex
+
+// Store owns every vertex in the computation graph, the per-partition free
+// lists (the paper's set F), and an interned string table for KindStr
+// literals. Vertex field access is guarded by per-vertex locks; the store's
+// own lock guards only arena growth and free lists.
+type Store struct {
+	segs atomic.Pointer[[]*segment]
+	n    atomic.Int64 // number of vertices allocated into the arena (excludes NilVertex)
+
+	mu    sync.Mutex
+	free  [][]VertexID
+	freeN int
+	fixed bool
+
+	strMu   sync.Mutex
+	strings []string
+	strIdx  map[string]int64
+
+	parts int
+}
+
+// NewStore builds a store with cfg.Capacity free vertices distributed over
+// cfg.Partitions partitions.
+func NewStore(cfg Config) *Store {
+	if cfg.Partitions < 1 {
+		cfg.Partitions = 1
+	}
+	s := &Store{
+		free:   make([][]VertexID, cfg.Partitions),
+		fixed:  cfg.FixedSize,
+		parts:  cfg.Partitions,
+		strIdx: make(map[string]int64),
+	}
+	empty := make([]*segment, 0)
+	s.segs.Store(&empty)
+	s.mu.Lock()
+	for i := 0; i < cfg.Capacity; i++ {
+		s.appendFreeLocked(i % cfg.Partitions)
+	}
+	s.mu.Unlock()
+	return s
+}
+
+// appendFreeLocked grows the arena by one free vertex on the given
+// partition. Caller holds s.mu.
+func (s *Store) appendFreeLocked(part int) {
+	id := VertexID(s.n.Load() + 1) // slot 0 is NilVertex
+	v := &Vertex{ID: id, Part: part, Kind: KindFree}
+
+	segs := *s.segs.Load()
+	segIdx := int(id) >> segBits
+	if segIdx >= len(segs) {
+		// Publish a copy with the new segment appended; readers holding
+		// the old slice simply don't see the new (not yet referenced)
+		// vertices.
+		grown := make([]*segment, len(segs)+1)
+		copy(grown, segs)
+		grown[len(segs)] = new(segment)
+		s.segs.Store(&grown)
+		segs = grown
+	}
+	segs[segIdx][int(id)&segMask] = v
+	s.n.Add(1)
+	s.free[part] = append(s.free[part], id)
+	s.freeN++
+}
+
+// Partitions returns the number of partitions.
+func (s *Store) Partitions() int { return s.parts }
+
+// Len returns the number of vertices in V (allocated arena size, free or
+// not), excluding the nil slot.
+func (s *Store) Len() int { return int(s.n.Load()) }
+
+// FreeCount returns |F|.
+func (s *Store) FreeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.freeN
+}
+
+// Vertex returns the vertex with the given ID, or nil for NilVertex or an
+// out-of-range ID. The returned pointer is stable for the life of the
+// store. Lock-free.
+func (s *Store) Vertex(id VertexID) *Vertex {
+	if id == NilVertex || int64(id) > s.n.Load() {
+		return nil
+	}
+	segs := *s.segs.Load()
+	segIdx := int(id) >> segBits
+	if segIdx >= len(segs) {
+		return nil
+	}
+	return segs[segIdx][int(id)&segMask]
+}
+
+// MustVertex is Vertex but panics on an invalid ID; for internal callers
+// that hold a structurally guaranteed ID.
+func (s *Store) MustVertex(id VertexID) *Vertex {
+	v := s.Vertex(id)
+	if v == nil {
+		panic(fmt.Sprintf("graph: no vertex %d", id))
+	}
+	return v
+}
+
+// Alloc takes a vertex from the free list of the given partition, stealing
+// from other partitions if the local list is empty, and growing the arena if
+// allowed. The vertex is returned labeled with the given kind/value, with no
+// edges, ready for the caller to wire and splice in.
+func (s *Store) Alloc(part int, kind Kind, val int64) (*Vertex, error) {
+	if part < 0 || part >= s.parts {
+		part = 0
+	}
+	s.mu.Lock()
+	id, ok := s.popFreeLocked(part)
+	if !ok {
+		if s.fixed {
+			s.mu.Unlock()
+			return nil, ErrNoFreeVertices
+		}
+		s.appendFreeLocked(part)
+		id, _ = s.popFreeLocked(part)
+	}
+	s.mu.Unlock()
+	v := s.Vertex(id)
+
+	v.Lock()
+	v.Kind = kind
+	v.Val = val
+	v.Red = RedState{}
+	v.Unlock()
+	return v, nil
+}
+
+func (s *Store) popFreeLocked(part int) (VertexID, bool) {
+	for i := 0; i < s.parts; i++ {
+		p := (part + i) % s.parts
+		if n := len(s.free[p]); n > 0 {
+			id := s.free[p][n-1]
+			s.free[p] = s.free[p][:n-1]
+			s.freeN--
+			return id, true
+		}
+	}
+	return NilVertex, false
+}
+
+// Release returns a vertex to F (the restructuring phase's "adding elements
+// of GAR to F"). The caller must guarantee the vertex is unreachable; its
+// edges and reduction state are cleared.
+func (s *Store) Release(v *Vertex) {
+	v.Lock()
+	v.ResetFree()
+	part := v.Part
+	v.Unlock()
+
+	s.mu.Lock()
+	s.free[part] = append(s.free[part], v.ID)
+	s.freeN++
+	s.mu.Unlock()
+}
+
+// IsFree reports whether id is currently in F.
+func (s *Store) IsFree(id VertexID) bool {
+	v := s.Vertex(id)
+	if v == nil {
+		return false
+	}
+	v.Lock()
+	defer v.Unlock()
+	return v.Kind == KindFree
+}
+
+// ForEach calls fn for every vertex ID in the arena. It snapshots the
+// arena length first; vertices allocated during iteration may be missed,
+// which is the semantics restructuring wants (new vertices come from F and
+// are never garbage in the current cycle by reduction axiom 1).
+func (s *Store) ForEach(fn func(*Vertex)) {
+	n := s.n.Load()
+	segs := *s.segs.Load()
+	for i := int64(1); i <= n; i++ {
+		v := segs[int(i)>>segBits][int(i)&segMask]
+		if v != nil {
+			fn(v)
+		}
+	}
+}
+
+// ForEachInPartition calls fn for every vertex owned by part.
+func (s *Store) ForEachInPartition(part int, fn func(*Vertex)) {
+	s.ForEach(func(v *Vertex) {
+		if v.Part == part {
+			fn(v)
+		}
+	})
+}
+
+// InternString interns a string and returns its table index for use as a
+// KindStr vertex value.
+func (s *Store) InternString(str string) int64 {
+	s.strMu.Lock()
+	defer s.strMu.Unlock()
+	if i, ok := s.strIdx[str]; ok {
+		return i
+	}
+	i := int64(len(s.strings))
+	s.strings = append(s.strings, str)
+	s.strIdx[str] = i
+	return i
+}
+
+// StringAt returns the interned string at index i ("" if out of range).
+func (s *Store) StringAt(i int64) string {
+	s.strMu.Lock()
+	defer s.strMu.Unlock()
+	if i < 0 || int(i) >= len(s.strings) {
+		return ""
+	}
+	return s.strings[int(i)]
+}
+
+// PartitionOf returns the partition that owns id (0 for invalid IDs).
+func (s *Store) PartitionOf(id VertexID) int {
+	v := s.Vertex(id)
+	if v == nil {
+		return 0
+	}
+	return v.Part
+}
+
+// Snapshot returns a consistent copy of the graph's connectivity for
+// offline analysis. The world should be quiescent (or deterministically
+// paused) when it is taken; each vertex is copied under its own lock.
+func (s *Store) Snapshot() *Snapshot {
+	n := int(s.n.Load())
+	snap := &Snapshot{
+		Verts: make([]SnapVertex, n+1),
+		Parts: s.parts,
+	}
+	s.ForEach(func(v *Vertex) {
+		v.Lock()
+		sv := SnapVertex{
+			ID:   v.ID,
+			Part: v.Part,
+			Kind: v.Kind,
+			Val:  v.Val,
+		}
+		sv.Args = append(sv.Args, v.Args...)
+		sv.ReqKinds = append(sv.ReqKinds, v.ReqKinds...)
+		sv.Requested = append(sv.Requested, v.Requested...)
+		v.Unlock()
+		snap.Verts[sv.ID] = sv
+	})
+	return snap
+}
+
+// SnapVertex is an immutable copy of a vertex's connectivity.
+type SnapVertex struct {
+	ID        VertexID
+	Part      int
+	Kind      Kind
+	Val       int64
+	Args      []VertexID
+	ReqKinds  []ReqKind
+	Requested []Requester
+}
+
+// Snapshot is an immutable copy of the whole graph, used by the
+// stop-the-world reachability oracle in internal/analysis.
+type Snapshot struct {
+	Verts []SnapVertex
+	Parts int
+}
+
+// Vertex returns the snapshot of id, or nil.
+func (s *Snapshot) Vertex(id VertexID) *SnapVertex {
+	if id == NilVertex || int(id) >= len(s.Verts) {
+		return nil
+	}
+	sv := &s.Verts[id]
+	if sv.ID == NilVertex {
+		return nil
+	}
+	return sv
+}
+
+// Len returns the number of vertices in the snapshot (excluding slot 0).
+func (s *Snapshot) Len() int { return len(s.Verts) - 1 }

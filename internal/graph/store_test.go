@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestStoreAllocRelease(t *testing.T) {
+	s := NewStore(Config{Partitions: 2, Capacity: 4})
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := s.FreeCount(); got != 4 {
+		t.Fatalf("FreeCount = %d, want 4", got)
+	}
+
+	v, err := s.Alloc(1, KindInt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != KindInt || v.Val != 42 {
+		t.Fatalf("allocated vertex = %+v", v)
+	}
+	if got := s.FreeCount(); got != 3 {
+		t.Fatalf("FreeCount after alloc = %d, want 3", got)
+	}
+	if s.IsFree(v.ID) {
+		t.Fatal("allocated vertex reported free")
+	}
+
+	s.Release(v)
+	if got := s.FreeCount(); got != 4 {
+		t.Fatalf("FreeCount after release = %d, want 4", got)
+	}
+	if !s.IsFree(v.ID) {
+		t.Fatal("released vertex not reported free")
+	}
+}
+
+func TestStoreAllocPartitionAffinity(t *testing.T) {
+	s := NewStore(Config{Partitions: 4, Capacity: 8})
+	v, err := s.Alloc(2, KindHole, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Part != 2 {
+		t.Fatalf("Part = %d, want 2", v.Part)
+	}
+}
+
+func TestStoreAllocSteals(t *testing.T) {
+	// Partition 0 has all the free vertices; allocating on partition 1 must
+	// steal rather than fail.
+	s := NewStore(Config{Partitions: 2, Capacity: 0, FixedSize: false})
+	// Grow only partition 0's free list by allocating+releasing there.
+	v0, err := s.Alloc(0, KindHole, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release(v0)
+
+	s2 := NewStore(Config{Partitions: 2, Capacity: 1, FixedSize: true})
+	// capacity 1 landed on partition 0 (round robin); alloc on 1 steals it.
+	v, err := s2.Alloc(1, KindInt, 1)
+	if err != nil {
+		t.Fatalf("steal failed: %v", err)
+	}
+	if v.Part != 0 {
+		t.Fatalf("stolen vertex partition = %d, want 0", v.Part)
+	}
+}
+
+func TestStoreFixedSizeExhaustion(t *testing.T) {
+	s := NewStore(Config{Partitions: 1, Capacity: 2, FixedSize: true})
+	if _, err := s.Alloc(0, KindInt, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(0, KindInt, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Alloc(0, KindInt, 3)
+	if !errors.Is(err, ErrNoFreeVertices) {
+		t.Fatalf("err = %v, want ErrNoFreeVertices", err)
+	}
+}
+
+func TestStoreGrowsWhenNotFixed(t *testing.T) {
+	s := NewStore(Config{Partitions: 1, Capacity: 1})
+	for i := 0; i < 10; i++ {
+		if _, err := s.Alloc(0, KindInt, int64(i)); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if got := s.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+}
+
+func TestStoreVertexLookup(t *testing.T) {
+	s := NewStore(Config{Partitions: 1, Capacity: 2})
+	if s.Vertex(NilVertex) != nil {
+		t.Fatal("NilVertex lookup should be nil")
+	}
+	if s.Vertex(999) != nil {
+		t.Fatal("out-of-range lookup should be nil")
+	}
+	v, _ := s.Alloc(0, KindInt, 5)
+	if got := s.Vertex(v.ID); got != v {
+		t.Fatal("Vertex did not return stable pointer")
+	}
+	if got := s.PartitionOf(v.ID); got != 0 {
+		t.Fatalf("PartitionOf = %d", got)
+	}
+}
+
+func TestStoreConcurrentAllocRelease(t *testing.T) {
+	s := NewStore(Config{Partitions: 4, Capacity: 64})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v, err := s.Alloc(part, KindInt, int64(i))
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				s.Release(v)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := s.FreeCount(); got != s.Len() {
+		t.Fatalf("FreeCount = %d, Len = %d; all should be free", got, s.Len())
+	}
+}
+
+func TestInternString(t *testing.T) {
+	s := NewStore(Config{Partitions: 1, Capacity: 1})
+	a := s.InternString("hello")
+	b := s.InternString("world")
+	if a == b {
+		t.Fatal("distinct strings interned to same index")
+	}
+	if got := s.InternString("hello"); got != a {
+		t.Fatal("re-interning changed index")
+	}
+	if got := s.StringAt(a); got != "hello" {
+		t.Fatalf("StringAt = %q", got)
+	}
+	if got := s.StringAt(99); got != "" {
+		t.Fatalf("StringAt(out of range) = %q", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s := NewStore(Config{Partitions: 2, Capacity: 4})
+	a, _ := s.Alloc(0, KindApply, 0)
+	b, _ := s.Alloc(1, KindInt, 7)
+	a.Lock()
+	a.AddArg(b.ID, ReqVital)
+	a.AddRequester(b.ID, ReqEager)
+	a.Unlock()
+
+	snap := s.Snapshot()
+	sa := snap.Vertex(a.ID)
+	if sa == nil {
+		t.Fatal("snapshot missing vertex")
+	}
+	if sa.Kind != KindApply || len(sa.Args) != 1 || sa.Args[0] != b.ID {
+		t.Fatalf("snapshot vertex = %+v", sa)
+	}
+	if len(sa.Requested) != 1 || sa.Requested[0].Src != b.ID {
+		t.Fatalf("snapshot requested = %v", sa.Requested)
+	}
+	if snap.Vertex(NilVertex) != nil {
+		t.Fatal("snapshot of NilVertex should be nil")
+	}
+	if snap.Len() != s.Len() {
+		t.Fatalf("snapshot len = %d, store len = %d", snap.Len(), s.Len())
+	}
+
+	// Snapshot must be a deep copy: mutating the live graph must not change it.
+	a.Lock()
+	a.RemoveArg(b.ID)
+	a.Unlock()
+	if len(snap.Vertex(a.ID).Args) != 1 {
+		t.Fatal("snapshot aliased live edge list")
+	}
+}
+
+func TestForEachInPartition(t *testing.T) {
+	s := NewStore(Config{Partitions: 3, Capacity: 9})
+	count := 0
+	s.ForEachInPartition(1, func(v *Vertex) {
+		if v.Part != 1 {
+			t.Errorf("vertex %d in wrong partition %d", v.ID, v.Part)
+		}
+		count++
+	})
+	if count != 3 {
+		t.Fatalf("partition 1 has %d vertices, want 3", count)
+	}
+}
+
+func TestCombPrimMetadata(t *testing.T) {
+	if CombS.Arity() != 3 || CombK.Arity() != 2 || CombI.Arity() != 1 || CombSP.Arity() != 4 {
+		t.Fatal("combinator arity wrong")
+	}
+	if CombS.String() != "S" || CombSP.String() != "S'" {
+		t.Fatal("combinator names wrong")
+	}
+	if PrimIf.Arity() != 3 || PrimAdd.Arity() != 2 || PrimNot.Arity() != 1 {
+		t.Fatal("prim arity wrong")
+	}
+	if got := PrimIf.StrictArgs(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("if strict args = %v", got)
+	}
+	if got := PrimAdd.StrictArgs(); len(got) != 2 {
+		t.Fatalf("add strict args = %v", got)
+	}
+	if got := PrimCons.StrictArgs(); got != nil {
+		t.Fatalf("cons strict args = %v, want nil", got)
+	}
+	if PrimIf.String() != "if" || PrimAdd.String() != "+" {
+		t.Fatal("prim names wrong")
+	}
+}

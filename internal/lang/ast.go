@@ -1,0 +1,129 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a surface-syntax expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Var references a bound name or builtin.
+type Var struct{ Name string }
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// BoolLit is a boolean literal.
+type BoolLit struct{ Val bool }
+
+// NilLit is the empty list [].
+type NilLit struct{}
+
+// Lam is a lambda abstraction of one or more parameters.
+type Lam struct {
+	Params []string
+	Body   Expr
+}
+
+// App is a function application.
+type App struct{ Fun, Arg Expr }
+
+// If is the conditional.
+type If struct{ Cond, Then, Else Expr }
+
+// Bind is one let binding.
+type Bind struct {
+	Name string
+	Val  Expr
+}
+
+// Let is a mutually recursive let ... in.
+type Let struct {
+	Binds []Bind
+	Body  Expr
+}
+
+func (Var) exprNode()     {}
+func (IntLit) exprNode()  {}
+func (BoolLit) exprNode() {}
+func (NilLit) exprNode()  {}
+func (Lam) exprNode()     {}
+func (App) exprNode()     {}
+func (If) exprNode()      {}
+func (Let) exprNode()     {}
+
+func (e Var) String() string    { return e.Name }
+func (e IntLit) String() string { return fmt.Sprintf("%d", e.Val) }
+func (e BoolLit) String() string {
+	if e.Val {
+		return "true"
+	}
+	return "false"
+}
+func (NilLit) String() string { return "[]" }
+func (e Lam) String() string {
+	return fmt.Sprintf("(\\%s. %s)", strings.Join(e.Params, " "), e.Body)
+}
+func (e App) String() string { return fmt.Sprintf("(%s %s)", e.Fun, e.Arg) }
+func (e If) String() string {
+	return fmt.Sprintf("(if %s then %s else %s)", e.Cond, e.Then, e.Else)
+}
+func (e Let) String() string {
+	parts := make([]string, len(e.Binds))
+	for i, b := range e.Binds {
+		parts[i] = fmt.Sprintf("%s = %s", b.Name, b.Val)
+	}
+	return fmt.Sprintf("(let %s in %s)", strings.Join(parts, "; "), e.Body)
+}
+
+// apps left-folds applications.
+func apps(f Expr, args ...Expr) Expr {
+	for _, a := range args {
+		f = App{Fun: f, Arg: a}
+	}
+	return f
+}
+
+// freeVars collects the free variables of e into out.
+func freeVars(e Expr, bound map[string]bool, out map[string]bool) {
+	switch x := e.(type) {
+	case Var:
+		if !bound[x.Name] {
+			out[x.Name] = true
+		}
+	case Lam:
+		inner := copyBound(bound)
+		for _, p := range x.Params {
+			inner[p] = true
+		}
+		freeVars(x.Body, inner, out)
+	case App:
+		freeVars(x.Fun, bound, out)
+		freeVars(x.Arg, bound, out)
+	case If:
+		freeVars(x.Cond, bound, out)
+		freeVars(x.Then, bound, out)
+		freeVars(x.Else, bound, out)
+	case Let:
+		inner := copyBound(bound)
+		for _, b := range x.Binds {
+			inner[b.Name] = true
+		}
+		for _, b := range x.Binds {
+			freeVars(b.Val, inner, out)
+		}
+		freeVars(x.Body, inner, out)
+	}
+}
+
+func copyBound(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

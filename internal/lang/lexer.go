@@ -1,0 +1,102 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// lexError reports a lexical error with position info.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.line, e.msg)
+}
+
+// lex tokenizes src. Comments run from "--" or "#" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#' || (c == '-' && i+1 < n && src[i+1] == '-'):
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{kind: tokInt, text: src[i:j], pos: i, line: line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: text, pos: i, line: line})
+			i = j
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i, line: line})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i, line: line})
+			i++
+		case c == '[':
+			toks = append(toks, token{kind: tokLBracket, text: "[", pos: i, line: line})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBracket, text: "]", pos: i, line: line})
+			i++
+		default:
+			op, ok := lexOp(src[i:])
+			if !ok {
+				return nil, &lexError{line: line, msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+			toks = append(toks, token{kind: tokOp, text: op, pos: i, line: line})
+			i += len(op)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: i, line: line})
+	return toks, nil
+}
+
+// operators, longest first so prefixes match correctly.
+var operators = []string{
+	"==", "/=", "<=", ">=", "&&", "||",
+	"+", "-", "*", "/", "%", "<", ">", ":", "=", ".", "\\", ";", ",",
+}
+
+func lexOp(s string) (string, bool) {
+	for _, op := range operators {
+		if strings.HasPrefix(s, op) {
+			return op, true
+		}
+	}
+	return "", false
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}

@@ -1,0 +1,314 @@
+package lang
+
+import "fmt"
+
+// Parse parses a program (one expression) from source text.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %q after expression", p.peek().text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectOp(op string) error {
+	t := p.peek()
+	if t.kind != tokOp || t.text != op {
+		return p.errf("expected %q, found %q", op, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokKeyword || t.text != kw {
+		return p.errf("expected %q, found %q", kw, t.text)
+	}
+	p.next()
+	return nil
+}
+
+// expr := lambda | let | if | binary
+func (p *parser) expr() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokOp && t.text == "\\":
+		return p.lambda()
+	case t.kind == tokKeyword && t.text == "let":
+		return p.let()
+	case t.kind == tokKeyword && t.text == "if":
+		return p.ifExpr()
+	default:
+		return p.binary(0)
+	}
+}
+
+func (p *parser) lambda() (Expr, error) {
+	p.next() // backslash
+	var params []string
+	for p.peek().kind == tokIdent {
+		params = append(params, p.next().text)
+	}
+	if len(params) == 0 {
+		return nil, p.errf("lambda needs at least one parameter")
+	}
+	if err := p.expectOp("."); err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return Lam{Params: params, Body: body}, nil
+}
+
+func (p *parser) let() (Expr, error) {
+	p.next() // let
+	var binds []Bind
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected binding name, found %q", t.text)
+		}
+		name := p.next().text
+		// Sugar: let f x y = e  ≡  let f = \x y. e
+		var params []string
+		for p.peek().kind == tokIdent {
+			params = append(params, p.next().text)
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if len(params) > 0 {
+			val = Lam{Params: params, Body: val}
+		}
+		binds = append(binds, Bind{Name: name, Val: val})
+		if t := p.peek(); t.kind == tokOp && t.text == ";" {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return Let{Binds: binds, Body: body}, nil
+}
+
+func (p *parser) ifExpr() (Expr, error) {
+	p.next() // if
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("then"); err != nil {
+		return nil, err
+	}
+	thn, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("else"); err != nil {
+		return nil, err
+	}
+	els, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return If{Cond: cond, Then: thn, Else: els}, nil
+}
+
+// binOp describes an infix operator.
+type binOp struct {
+	prec       int
+	rightAssoc bool
+	builtin    string // prefix builtin it desugars to
+}
+
+var binOps = map[string]binOp{
+	"||": {prec: 1, builtin: "or"},
+	"&&": {prec: 2, builtin: "and"},
+	"==": {prec: 3, builtin: "__eq"},
+	"/=": {prec: 3, builtin: "__ne"},
+	"<":  {prec: 3, builtin: "__lt"},
+	"<=": {prec: 3, builtin: "__le"},
+	">":  {prec: 3, builtin: "__gt"},
+	">=": {prec: 3, builtin: "__ge"},
+	":":  {prec: 4, rightAssoc: true, builtin: "cons"},
+	"+":  {prec: 5, builtin: "__add"},
+	"-":  {prec: 5, builtin: "__sub"},
+	"*":  {prec: 6, builtin: "__mul"},
+	"/":  {prec: 6, builtin: "__div"},
+	"%":  {prec: 6, builtin: "__mod"},
+}
+
+// binary parses infix expressions by precedence climbing.
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.application()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			return lhs, nil
+		}
+		op, ok := binOps[t.text]
+		if !ok || op.prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		nextMin := op.prec + 1
+		if op.rightAssoc {
+			nextMin = op.prec
+		}
+		var rhs Expr
+		// Allow lambda/let/if directly on the right of an operator.
+		switch pt := p.peek(); {
+		case pt.kind == tokOp && pt.text == "\\":
+			rhs, err = p.lambda()
+		case pt.kind == tokKeyword && (pt.text == "let" || pt.text == "if"):
+			rhs, err = p.expr()
+		default:
+			rhs, err = p.binary(nextMin)
+		}
+		if err != nil {
+			return nil, err
+		}
+		lhs = apps(Var{Name: op.builtin}, lhs, rhs)
+	}
+}
+
+// application := atom atom*
+func (p *parser) application() (Expr, error) {
+	f, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.startsAtom() {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		f = App{Fun: f, Arg: a}
+	}
+	return f, nil
+}
+
+func (p *parser) startsAtom() bool {
+	t := p.peek()
+	switch t.kind {
+	case tokInt, tokIdent, tokLParen, tokLBracket:
+		return true
+	case tokKeyword:
+		return t.text == "true" || t.text == "false"
+	default:
+		return false
+	}
+}
+
+func (p *parser) atom() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		var n int64
+		for _, c := range t.text {
+			n = n*10 + int64(c-'0')
+		}
+		return IntLit{Val: n}, nil
+	case tokIdent:
+		p.next()
+		return Var{Name: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "true":
+			p.next()
+			return BoolLit{Val: true}, nil
+		case "false":
+			p.next()
+			return BoolLit{Val: false}, nil
+		}
+		return nil, p.errf("unexpected keyword %q", t.text)
+	case tokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, p.errf("expected ')', found %q", p.peek().text)
+		}
+		p.next()
+		return e, nil
+	case tokLBracket:
+		return p.list()
+	default:
+		return nil, p.errf("unexpected %q", t.text)
+	}
+}
+
+// list := '[' (expr (',' expr)*)? ']'  — sugar for cons chains.
+func (p *parser) list() (Expr, error) {
+	p.next() // [
+	var elems []Expr
+	if p.peek().kind != tokRBracket {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if t := p.peek(); t.kind == tokOp && t.text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().kind != tokRBracket {
+		return nil, p.errf("expected ']', found %q", p.peek().text)
+	}
+	p.next()
+	var lst Expr = NilLit{}
+	for i := len(elems) - 1; i >= 0; i-- {
+		lst = apps(Var{Name: "cons"}, elems[i], lst)
+	}
+	return lst, nil
+}

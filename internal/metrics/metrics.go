@@ -1,0 +1,118 @@
+// Package metrics collects the counters the experiment harness reports:
+// task executions, message traffic between partitions, marking work, and
+// reclamation results.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters aggregates run statistics. All fields are safe for concurrent
+// update. The zero value is ready to use.
+type Counters struct {
+	TasksExecuted   atomic.Int64 // all task executions
+	ReductionTasks  atomic.Int64 // demand/result/reduce executions
+	MarkTasks       atomic.Int64 // mark task executions
+	ReturnTasks     atomic.Int64 // return task executions
+	RemoteMessages  atomic.Int64 // tasks spawned across partitions
+	LocalMessages   atomic.Int64 // tasks spawned within a partition
+	Rewrites        atomic.Int64 // combinator/primitive graph rewrites
+	Allocations     atomic.Int64 // vertices taken from F
+	Reclaimed       atomic.Int64 // vertices returned to F by restructuring
+	Cycles          atomic.Int64 // completed mark/restructure cycles
+	MTRuns          atomic.Int64 // cycles that included an M_T phase
+	Expunged        atomic.Int64 // irrelevant tasks deleted
+	Reprioritized   atomic.Int64 // tasks whose band changed in restructuring
+	DeadlockedFound atomic.Int64 // vertices reported deadlocked
+	CoopMarks       atomic.Int64 // marks spawned by cooperating mutator primitives
+	MaxPauseNs      atomic.Int64 // longest single mutator pause (stop-the-world baseline)
+	TotalPauseNs    atomic.Int64 // cumulative mutator pause time
+}
+
+// ObservePause records a mutator pause, updating both the total and the max.
+func (c *Counters) ObservePause(ns int64) {
+	c.TotalPauseNs.Add(ns)
+	for {
+		cur := c.MaxPauseNs.Load()
+		if ns <= cur || c.MaxPauseNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	TasksExecuted   int64
+	ReductionTasks  int64
+	MarkTasks       int64
+	ReturnTasks     int64
+	RemoteMessages  int64
+	LocalMessages   int64
+	Rewrites        int64
+	Allocations     int64
+	Reclaimed       int64
+	Cycles          int64
+	MTRuns          int64
+	Expunged        int64
+	Reprioritized   int64
+	DeadlockedFound int64
+	CoopMarks       int64
+	MaxPauseNs      int64
+	TotalPauseNs    int64
+}
+
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		TasksExecuted:   c.TasksExecuted.Load(),
+		ReductionTasks:  c.ReductionTasks.Load(),
+		MarkTasks:       c.MarkTasks.Load(),
+		ReturnTasks:     c.ReturnTasks.Load(),
+		RemoteMessages:  c.RemoteMessages.Load(),
+		LocalMessages:   c.LocalMessages.Load(),
+		Rewrites:        c.Rewrites.Load(),
+		Allocations:     c.Allocations.Load(),
+		Reclaimed:       c.Reclaimed.Load(),
+		Cycles:          c.Cycles.Load(),
+		MTRuns:          c.MTRuns.Load(),
+		Expunged:        c.Expunged.Load(),
+		Reprioritized:   c.Reprioritized.Load(),
+		DeadlockedFound: c.DeadlockedFound.Load(),
+		CoopMarks:       c.CoopMarks.Load(),
+		MaxPauseNs:      c.MaxPauseNs.Load(),
+		TotalPauseNs:    c.TotalPauseNs.Load(),
+	}
+}
+
+// String renders the snapshot as a one-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"tasks=%d (red=%d mark=%d ret=%d) msgs(remote=%d local=%d) rewrites=%d alloc=%d reclaimed=%d cycles=%d expunged=%d deadlocked=%d",
+		s.TasksExecuted, s.ReductionTasks, s.MarkTasks, s.ReturnTasks,
+		s.RemoteMessages, s.LocalMessages, s.Rewrites, s.Allocations,
+		s.Reclaimed, s.Cycles, s.Expunged, s.DeadlockedFound)
+}
+
+// Sub returns s - o field-wise, for measuring an interval.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		TasksExecuted:   s.TasksExecuted - o.TasksExecuted,
+		ReductionTasks:  s.ReductionTasks - o.ReductionTasks,
+		MarkTasks:       s.MarkTasks - o.MarkTasks,
+		ReturnTasks:     s.ReturnTasks - o.ReturnTasks,
+		RemoteMessages:  s.RemoteMessages - o.RemoteMessages,
+		LocalMessages:   s.LocalMessages - o.LocalMessages,
+		Rewrites:        s.Rewrites - o.Rewrites,
+		Allocations:     s.Allocations - o.Allocations,
+		Reclaimed:       s.Reclaimed - o.Reclaimed,
+		Cycles:          s.Cycles - o.Cycles,
+		MTRuns:          s.MTRuns - o.MTRuns,
+		Expunged:        s.Expunged - o.Expunged,
+		Reprioritized:   s.Reprioritized - o.Reprioritized,
+		DeadlockedFound: s.DeadlockedFound - o.DeadlockedFound,
+		CoopMarks:       s.CoopMarks - o.CoopMarks,
+		MaxPauseNs:      s.MaxPauseNs,
+		TotalPauseNs:    s.TotalPauseNs - o.TotalPauseNs,
+	}
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	var c Counters
+	c.TasksExecuted.Add(10)
+	c.ReductionTasks.Add(6)
+	c.MarkTasks.Add(3)
+	c.ReturnTasks.Add(1)
+	c.RemoteMessages.Add(2)
+	c.Reclaimed.Add(5)
+	c.Cycles.Add(1)
+
+	s := c.Snapshot()
+	if s.TasksExecuted != 10 || s.ReductionTasks != 6 || s.MarkTasks != 3 ||
+		s.ReturnTasks != 1 || s.RemoteMessages != 2 || s.Reclaimed != 5 || s.Cycles != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counters
+	c.TasksExecuted.Add(10)
+	before := c.Snapshot()
+	c.TasksExecuted.Add(7)
+	c.Expunged.Add(2)
+	diff := c.Snapshot().Sub(before)
+	if diff.TasksExecuted != 7 || diff.Expunged != 2 {
+		t.Fatalf("diff = %+v", diff)
+	}
+}
+
+func TestObservePause(t *testing.T) {
+	var c Counters
+	c.ObservePause(100)
+	c.ObservePause(50)
+	c.ObservePause(200)
+	if got := c.MaxPauseNs.Load(); got != 200 {
+		t.Fatalf("max pause = %d, want 200", got)
+	}
+	if got := c.TotalPauseNs.Load(); got != 350 {
+		t.Fatalf("total pause = %d, want 350", got)
+	}
+}
+
+func TestObservePauseConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for j := int64(0); j < 100; j++ {
+				c.ObservePause(base + j)
+			}
+		}(int64(i * 1000))
+	}
+	wg.Wait()
+	if got := c.MaxPauseNs.Load(); got != 7099 {
+		t.Fatalf("max pause = %d, want 7099", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var c Counters
+	c.TasksExecuted.Add(5)
+	c.Reclaimed.Add(2)
+	s := c.Snapshot().String()
+	for _, want := range []string{"tasks=5", "reclaimed=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestObservePauseMaxQuick(t *testing.T) {
+	// Property: max is always ≥ each observed value, total is the sum.
+	f := func(vals []uint16) bool {
+		var c Counters
+		var sum, max int64
+		for _, v := range vals {
+			n := int64(v)
+			c.ObservePause(n)
+			sum += n
+			if n > max {
+				max = n
+			}
+		}
+		return c.TotalPauseNs.Load() == sum && c.MaxPauseNs.Load() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,728 @@
+// Package reduce implements demand-driven, normal-order graph reduction
+// over the distributed computation graph — the "reduction process" of the
+// paper, whose tasks propagate between vertices and whose graph mutations
+// all flow through internal/core's cooperating mutator primitives so that
+// marking may proceed concurrently.
+//
+// The engine reduces Turner-style combinator graphs (S, K, I, B, C, S',
+// B', C', Y) with strict arithmetic/comparison primitives, lazy pairs, and
+// the speculative operators (eager if-branches, spec, par) that give rise
+// to the paper's eager, reserve and irrelevant tasks.
+package reduce
+
+import (
+	"fmt"
+	"sync"
+
+	"dgr/internal/core"
+	"dgr/internal/graph"
+	"dgr/internal/metrics"
+	"dgr/internal/sched"
+	"dgr/internal/task"
+)
+
+// maxIndChain bounds indirection-chain resolution; a longer chain is
+// treated as unresolvable (a cyclic knot such as letrec x = x), which
+// leaves the demand quiescent so the deadlock detector can find it.
+const maxIndChain = 10_000
+
+// Config parameterizes the engine.
+type Config struct {
+	// SpeculativeIf eagerly requests both branches of every if while its
+	// predicate is being computed (§3.2's source of eager — and, after the
+	// predicate resolves, irrelevant — tasks).
+	SpeculativeIf bool
+	// Counters receives statistics; optional.
+	Counters *metrics.Counters
+}
+
+// Value is the WHNF result delivered for a demanded root.
+type Value struct {
+	ID   graph.VertexID
+	Kind graph.Kind
+	Int  int64
+	Bool bool
+	Str  string
+}
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.Kind {
+	case graph.KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case graph.KindBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case graph.KindStr:
+		return v.Str
+	case graph.KindNil:
+		return "[]"
+	case graph.KindCons:
+		return "(cons ...)"
+	default:
+		return fmt.Sprintf("<%s v%d>", v.Kind, v.ID)
+	}
+}
+
+// Engine executes the reduction-process tasks (demand, result, reduce).
+type Engine struct {
+	store *graph.Store
+	mach  *sched.Machine
+	mut   *core.Mutator
+	cfg   Config
+
+	mu          sync.Mutex
+	rootWaiters map[graph.VertexID][]chan Value
+	errs        []error
+	// probes maps pending is-bottom probe vertices to their operand; they
+	// are resolved to true by ResolveBottomProbes when the deadlock
+	// detector finds the probe itself deadlocked (footnote 5).
+	probes map[graph.VertexID]graph.VertexID
+}
+
+var _ sched.Handler = (*Engine)(nil)
+
+// New builds an engine.
+func New(store *graph.Store, mach *sched.Machine, mut *core.Mutator, cfg Config) *Engine {
+	return &Engine{
+		store:       store,
+		mach:        mach,
+		mut:         mut,
+		cfg:         cfg,
+		rootWaiters: make(map[graph.VertexID][]chan Value),
+		probes:      make(map[graph.VertexID]graph.VertexID),
+	}
+}
+
+// ResolveBottomProbes implements footnote 5's is-bottom pseudo-function:
+// given the vertices newly identified as deadlocked, every pending probe
+// that is itself deadlocked (it vitally awaits a value that can never
+// arrive) is resolved to true, un-sticking its requesters. The probe's
+// operand edges are dropped, so an otherwise-unreachable deadlocked region
+// becomes garbage and is reclaimed by the next cycle. It returns the
+// resolved probe vertices.
+//
+// As the paper warns, is-bottom is non-monotonic: resolving a probe makes
+// a "deadlocked" vertex produce a value after all, so callers must drop
+// the resolved probes from any stable deadlock record.
+func (e *Engine) ResolveBottomProbes(deadlocked []graph.VertexID) []graph.VertexID {
+	if len(deadlocked) == 0 {
+		return nil
+	}
+	dead := make(map[graph.VertexID]bool, len(deadlocked))
+	for _, id := range deadlocked {
+		dead[id] = true
+	}
+	e.mu.Lock()
+	var hit []graph.VertexID
+	for p := range e.probes {
+		if dead[p] {
+			hit = append(hit, p)
+			delete(e.probes, p)
+		}
+	}
+	e.mu.Unlock()
+
+	var resolved []graph.VertexID
+	for _, p := range hit {
+		v := e.store.Vertex(p)
+		if v == nil {
+			continue
+		}
+		v.Lock()
+		isProbe := v.Kind == graph.KindPrimApp && graph.Prim(v.Val) == graph.PrimIsBotOp
+		v.Unlock()
+		if !isProbe {
+			continue
+		}
+		e.finishBool(v, true)
+		resolved = append(resolved, p)
+	}
+	return resolved
+}
+
+// registerProbe records a pending is-bottom probe.
+func (e *Engine) registerProbe(probe, operand graph.VertexID) {
+	e.mu.Lock()
+	e.probes[probe] = operand
+	e.mu.Unlock()
+}
+
+// unregisterProbe drops a probe whose operand produced a value.
+func (e *Engine) unregisterProbe(probe graph.VertexID) {
+	e.mu.Lock()
+	delete(e.probes, probe)
+	e.mu.Unlock()
+}
+
+// Errors returns the runtime (type) errors encountered so far.
+func (e *Engine) Errors() []error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]error(nil), e.errs...)
+}
+
+func (e *Engine) fail(v *graph.Vertex, format string, args ...any) {
+	e.mu.Lock()
+	e.errs = append(e.errs, fmt.Errorf("v%d: %s", v.ID, fmt.Sprintf(format, args...)))
+	e.mu.Unlock()
+}
+
+// Demand requests the value of root (the initial <-,root> task). The
+// returned channel receives the WHNF value once computed; it never fires
+// for a deadlocked or nonterminating computation.
+func (e *Engine) Demand(root graph.VertexID) <-chan Value {
+	ch := make(chan Value, 1)
+	e.mu.Lock()
+	e.rootWaiters[root] = append(e.rootWaiters[root], ch)
+	e.mu.Unlock()
+	e.mach.Spawn(task.Task{Kind: task.Demand, Src: graph.NilVertex, Dst: root, Req: graph.ReqVital})
+	return ch
+}
+
+// Handle implements sched.Handler for reduction tasks.
+func (e *Engine) Handle(t task.Task) {
+	switch t.Kind {
+	case task.Demand:
+		e.handleDemand(t)
+	case task.Result, task.Reduce:
+		e.step(t.Dst)
+	}
+}
+
+// ---- demand handling ----
+
+func (e *Engine) handleDemand(t task.Task) {
+	v := e.store.Vertex(t.Dst)
+	if v == nil {
+		return
+	}
+	kind := t.Req
+	if kind == graph.ReqNone {
+		// Reprioritized reserve demands execute as eager requests.
+		kind = graph.ReqEager
+	}
+
+	v.Lock()
+	if v.Kind == graph.KindFree {
+		// Destination reclaimed: the task was irrelevant.
+		v.Unlock()
+		return
+	}
+	whnf := e.whnfLocked(v)
+	v.Unlock()
+
+	if whnf {
+		e.reply(v, t.Src)
+		return
+	}
+
+	if t.Src == graph.NilVertex {
+		// Root demand: the waiter was registered by Demand.
+	} else if src := e.store.Vertex(t.Src); src != nil {
+		// "The execution of a task <s,v> results in adding s to
+		// requested(v)" — with M_T cooperation.
+		e.mut.AddRequesterCoop(v, src, kind)
+	}
+
+	// Re-check: v may have reached WHNF between the first check and the
+	// registration; complete() drains the just-added requester.
+	v.Lock()
+	if e.whnfLocked(v) {
+		v.Unlock()
+		e.complete(v)
+		return
+	}
+	start := !v.Red.Evaluating
+	if start {
+		v.Red.Evaluating = true
+		v.Red.SpineHint = t.Src
+	}
+	v.Unlock()
+	if start {
+		e.spawnReduce(v.ID)
+	}
+}
+
+// reply sends v's (already WHNF) value to a single requester or root waiter.
+func (e *Engine) reply(v *graph.Vertex, src graph.VertexID) {
+	if src == graph.NilVertex {
+		e.notifyRoot(v)
+		return
+	}
+	e.mach.Spawn(task.Task{Kind: task.Result, Src: v.ID, Dst: src})
+}
+
+// complete finishes v's evaluation: replies to every requester (removing
+// them from requested(v) and resetting their request edges, per reduction
+// axiom 5's contrapositive) and notifies root waiters.
+func (e *Engine) complete(v *graph.Vertex) {
+	v.Lock()
+	if !e.whnfLocked(v) {
+		v.Unlock()
+		return
+	}
+	v.Red.Evaluating = false
+	v.Red.WHNF = true
+	reqs := append([]graph.Requester(nil), v.Requested...)
+	v.Unlock()
+
+	for _, r := range reqs {
+		src := e.store.Vertex(r.Src)
+		if src == nil {
+			continue
+		}
+		e.mut.CompleteRequest(src, v)
+		e.mach.Spawn(task.Task{Kind: task.Result, Src: v.ID, Dst: r.Src})
+	}
+	e.notifyRoot(v)
+}
+
+func (e *Engine) notifyRoot(v *graph.Vertex) {
+	e.mu.Lock()
+	chans := e.rootWaiters[v.ID]
+	delete(e.rootWaiters, v.ID)
+	e.mu.Unlock()
+	if len(chans) == 0 {
+		return
+	}
+	val := e.ValueOf(v.ID)
+	for _, ch := range chans {
+		ch <- val
+	}
+}
+
+func (e *Engine) spawnReduce(id graph.VertexID) {
+	e.mach.Spawn(task.Task{Kind: task.Reduce, Dst: id})
+}
+
+// demandKind computes the urgency with which v should request its own
+// operands: vital if anyone vitally awaits v (or it is a root), else eager.
+func (e *Engine) demandKind(v *graph.Vertex) graph.ReqKind {
+	v.Lock()
+	kind := graph.ReqEager
+	for _, r := range v.Requested {
+		if r.Kind == graph.ReqVital {
+			kind = graph.ReqVital
+			break
+		}
+	}
+	id := v.ID
+	v.Unlock()
+	if kind == graph.ReqVital {
+		return kind
+	}
+	e.mu.Lock()
+	if len(e.rootWaiters[id]) > 0 {
+		kind = graph.ReqVital
+	}
+	e.mu.Unlock()
+	return kind
+}
+
+// demandFrom spawns a demand from parent for child's value, recording the
+// request kind on the parent's edge first ("a task has been spawned on
+// each element of req-args(v)"). Already-requested edges are not
+// re-demanded unless the kind is being upgraded.
+func (e *Engine) demandFrom(parent *graph.Vertex, childID graph.VertexID, kind graph.ReqKind) {
+	child := e.store.Vertex(childID)
+	if child == nil {
+		return
+	}
+	parent.Lock()
+	cur := parent.ReqKindOf(childID)
+	parent.Unlock()
+	if cur >= kind && cur != graph.ReqNone {
+		return // already requested at sufficient urgency
+	}
+	if !e.mut.SetRequestKind(parent, child, kind) {
+		return // edge vanished under a concurrent rewrite: demand is moot
+	}
+	e.mach.Spawn(task.Task{Kind: task.Demand, Src: parent.ID, Dst: childID, Req: kind})
+}
+
+// ---- WHNF machinery ----
+
+// whnfLocked reports whether v is in weak head normal form. Caller holds
+// v's lock.
+func (e *Engine) whnfLocked(v *graph.Vertex) bool {
+	switch v.Kind {
+	case graph.KindInt, graph.KindBool, graph.KindStr, graph.KindNil,
+		graph.KindCons, graph.KindComb:
+		return true
+	case graph.KindPrim:
+		return graph.Prim(v.Val) != graph.PrimBottom
+	case graph.KindApply, graph.KindPrimApp, graph.KindInd:
+		return v.Red.WHNF
+	default: // Hole, Free
+		return false
+	}
+}
+
+// resolveInd follows indirection chains to the first non-indirection
+// vertex, or nil if the chain is cyclic/dangling.
+func (e *Engine) resolveInd(id graph.VertexID) *graph.Vertex {
+	for i := 0; i < maxIndChain; i++ {
+		v := e.store.Vertex(id)
+		if v == nil {
+			return nil
+		}
+		v.Lock()
+		if v.Kind != graph.KindInd {
+			v.Unlock()
+			return v
+		}
+		if len(v.Args) == 0 {
+			v.Unlock()
+			return nil
+		}
+		id = v.Args[0]
+		v.Unlock()
+	}
+	return nil
+}
+
+// resolveWHNF follows indirections and reports the final vertex and
+// whether it is in WHNF.
+func (e *Engine) resolveWHNF(id graph.VertexID) (*graph.Vertex, bool) {
+	v := e.resolveInd(id)
+	if v == nil {
+		return nil, false
+	}
+	v.Lock()
+	defer v.Unlock()
+	return v, e.whnfLocked(v)
+}
+
+// ---- the reduction step ----
+
+// step makes progress on vertex id toward WHNF. It is invoked by Reduce
+// and Result tasks and is idempotent: a step that cannot progress leaves
+// the vertex quiescent until the awaited results arrive (or forever, in
+// which case the vertex is deadlocked and M_T/M_R will say so).
+func (e *Engine) step(id graph.VertexID) {
+	v := e.store.Vertex(id)
+	if v == nil {
+		return
+	}
+	v.Lock()
+	kind := v.Kind
+	whnf := e.whnfLocked(v)
+	v.Unlock()
+
+	if whnf {
+		e.complete(v)
+		return
+	}
+
+	switch kind {
+	case graph.KindFree, graph.KindHole:
+		return // reclaimed, or a stuck placeholder (deadlock candidate)
+	case graph.KindPrim:
+		// Only ⊥ reaches here: tie the Figure 3-1 self-knot and go quiet.
+		e.mut.MakeSelfKnot(v)
+		return
+	case graph.KindInd:
+		e.stepInd(v)
+	case graph.KindApply:
+		e.stepApply(v)
+	case graph.KindPrimApp:
+		e.stepPrimApp(v)
+	}
+}
+
+func (e *Engine) stepInd(v *graph.Vertex) {
+	v.Lock()
+	if v.Kind != graph.KindInd || len(v.Args) == 0 {
+		v.Unlock()
+		e.spawnReduce(v.ID)
+		return
+	}
+	target := v.Args[0]
+	v.Unlock()
+
+	final, whnf := e.resolveWHNF(target)
+	if whnf {
+		v.Lock()
+		v.Red.WHNF = true
+		v.Unlock()
+		e.complete(v)
+		return
+	}
+	if final == nil {
+		// Cyclic indirection knot (letrec x = x): stuck; deadlock detection
+		// will report it. Leave a vital self-request so the shape matches
+		// Figure 3-1.
+		e.mut.MakeSelfKnot(v)
+		return
+	}
+	e.demandFrom(v, target, e.demandKind(v))
+}
+
+// spine is a collected partial-application spine: the head leaf plus the
+// operands in application order.
+type spine struct {
+	head *graph.Vertex
+	ops  []graph.VertexID
+}
+
+// collectSpine walks a WHNF partial application down its function edges
+// (through indirections), gathering operands. It returns false if the
+// structure changed underfoot or an indirection dangles.
+func (e *Engine) collectSpine(f *graph.Vertex) (spine, bool) {
+	var sp spine
+	cur := f
+	for {
+		cur.Lock()
+		if cur.Kind != graph.KindApply {
+			cur.Unlock()
+			break
+		}
+		if len(cur.Args) != 2 {
+			cur.Unlock()
+			return sp, false
+		}
+		fun, arg := cur.Args[0], cur.Args[1]
+		cur.Unlock()
+		sp.ops = append(sp.ops, arg)
+		next := e.resolveInd(fun)
+		if next == nil {
+			return sp, false
+		}
+		cur = next
+	}
+	// Operands were collected outermost-first; reverse to application order.
+	for i, j := 0, len(sp.ops)-1; i < j; i, j = i+1, j-1 {
+		sp.ops[i], sp.ops[j] = sp.ops[j], sp.ops[i]
+	}
+	sp.head = cur
+	return sp, true
+}
+
+func (e *Engine) stepApply(v *graph.Vertex) {
+	v.Lock()
+	if v.Kind != graph.KindApply {
+		v.Unlock()
+		e.spawnReduce(v.ID)
+		return
+	}
+	if len(v.Args) != 2 {
+		v.Unlock()
+		e.fail(v, "apply vertex with %d args", len(v.Args))
+		return
+	}
+	funID, argID := v.Args[0], v.Args[1]
+	v.Unlock()
+
+	f, whnf := e.resolveWHNF(funID)
+	if f == nil {
+		// Dangling or cyclic function position: stuck.
+		e.mut.MakeSelfKnot(v)
+		return
+	}
+	if !whnf {
+		e.demandFrom(v, funID, e.demandKind(v))
+		return
+	}
+
+	// f is a stable WHNF function value; collect its spine.
+	f.Lock()
+	fk := f.Kind
+	f.Unlock()
+	switch fk {
+	case graph.KindApply:
+		sp, ok := e.collectSpine(f)
+		if !ok {
+			e.spawnReduce(v.ID)
+			return
+		}
+		e.applySaturation(v, sp, argID)
+	case graph.KindComb:
+		e.applySaturation(v, spine{head: f}, argID)
+	case graph.KindPrim:
+		e.applySaturation(v, spine{head: f}, argID)
+	case graph.KindCons, graph.KindNil, graph.KindInt, graph.KindBool, graph.KindStr:
+		e.fail(v, "cannot apply non-function %s", fk)
+	default:
+		e.fail(v, "cannot apply %s", fk)
+	}
+}
+
+// applySaturation decides whether v (supplying one more operand to the
+// WHNF function sp) saturates a redex, and contracts it if so.
+func (e *Engine) applySaturation(v *graph.Vertex, sp spine, argID graph.VertexID) {
+	ops := append(append([]graph.VertexID(nil), sp.ops...), argID)
+	head := sp.head
+	head.Lock()
+	hk, hv := head.Kind, head.Val
+	head.Unlock()
+
+	switch hk {
+	case graph.KindComb:
+		c := graph.Comb(hv)
+		ar := c.Arity()
+		if ar == 0 {
+			e.fail(v, "combinator %v with arity 0", c)
+			return
+		}
+		if len(ops) < ar {
+			e.markPartial(v)
+			return
+		}
+		e.contract(v, c, ops)
+		if e.cfg.Counters != nil {
+			e.cfg.Counters.Rewrites.Add(1)
+		}
+		e.spawnReduce(v.ID)
+	case graph.KindPrim:
+		p := graph.Prim(hv)
+		ar := p.Arity()
+		if ar == 0 {
+			e.fail(v, "applying nullary primitive %v", p)
+			return
+		}
+		if len(ops) < ar {
+			e.markPartial(v)
+			return
+		}
+		e.flattenPrim(v, p, ops)
+		if e.cfg.Counters != nil {
+			e.cfg.Counters.Rewrites.Add(1)
+		}
+		e.spawnReduce(v.ID)
+	default:
+		e.fail(v, "cannot apply %s", hk)
+	}
+}
+
+// markPartial records that v is an under-applied (hence WHNF) application.
+func (e *Engine) markPartial(v *graph.Vertex) {
+	v.Lock()
+	v.Red.WHNF = true
+	v.Unlock()
+	e.complete(v)
+}
+
+// vs resolves a list of IDs to vertices (for lock sets).
+func (e *Engine) vs(ids ...graph.VertexID) []*graph.Vertex {
+	out := make([]*graph.Vertex, 0, len(ids))
+	for _, id := range ids {
+		if w := e.store.Vertex(id); w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// contract performs one combinator contraction, rewriting v in place.
+func (e *Engine) contract(v *graph.Vertex, c graph.Comb, ops []graph.VertexID) {
+	part := v.Part
+	freshApply := func() *graph.Vertex {
+		n, err := e.mut.Alloc(part, graph.KindApply, 0)
+		if err != nil {
+			e.fail(v, "out of free vertices: %v", err)
+			return nil
+		}
+		return n
+	}
+	wire := func(n *graph.Vertex, fun, arg graph.VertexID) {
+		n.Args = append(n.Args[:0], fun, arg)
+		n.ReqKinds = append(n.ReqKinds[:0], graph.ReqNone, graph.ReqNone)
+	}
+	setV := func(fun, arg graph.VertexID) {
+		v.Kind = graph.KindApply
+		v.Val = 0
+		v.Args = append(v.Args[:0], fun, arg)
+		v.ReqKinds = append(v.ReqKinds[:0], graph.ReqNone, graph.ReqNone)
+	}
+
+	switch c {
+	case graph.CombI: // I x → x
+		if t := e.store.Vertex(ops[0]); t != nil {
+			e.mut.CollapseToInd(v, t)
+		}
+	case graph.CombK: // K x y → x
+		if t := e.store.Vertex(ops[0]); t != nil {
+			e.mut.CollapseToInd(v, t)
+		}
+	case graph.CombS: // S f g x → (f x) (g x)
+		n1, n2 := freshApply(), freshApply()
+		if n1 == nil || n2 == nil {
+			return
+		}
+		e.mut.Rewrite(v, []*graph.Vertex{n1, n2}, e.vs(ops...), func() {
+			wire(n1, ops[0], ops[2])
+			wire(n2, ops[1], ops[2])
+			setV(n1.ID, n2.ID)
+		})
+	case graph.CombB: // B f g x → f (g x)
+		n1 := freshApply()
+		if n1 == nil {
+			return
+		}
+		e.mut.Rewrite(v, []*graph.Vertex{n1}, e.vs(ops...), func() {
+			wire(n1, ops[1], ops[2])
+			setV(ops[0], n1.ID)
+		})
+	case graph.CombC: // C f g x → (f x) g
+		n1 := freshApply()
+		if n1 == nil {
+			return
+		}
+		e.mut.Rewrite(v, []*graph.Vertex{n1}, e.vs(ops...), func() {
+			wire(n1, ops[0], ops[2])
+			setV(n1.ID, ops[1])
+		})
+	case graph.CombSP: // S' k f g x → k (f x) (g x)
+		n1, n2, n3 := freshApply(), freshApply(), freshApply()
+		if n1 == nil || n2 == nil || n3 == nil {
+			return
+		}
+		e.mut.Rewrite(v, []*graph.Vertex{n1, n2, n3}, e.vs(ops...), func() {
+			wire(n1, ops[1], ops[3])
+			wire(n2, ops[2], ops[3])
+			wire(n3, ops[0], n1.ID)
+			setV(n3.ID, n2.ID)
+		})
+	case graph.CombBP: // B' k f g x → k f (g x)
+		n1, n2 := freshApply(), freshApply()
+		if n1 == nil || n2 == nil {
+			return
+		}
+		e.mut.Rewrite(v, []*graph.Vertex{n1, n2}, e.vs(ops...), func() {
+			wire(n1, ops[0], ops[1])
+			wire(n2, ops[2], ops[3])
+			setV(n1.ID, n2.ID)
+		})
+	case graph.CombCP: // C' k f g x → k (f x) g
+		n1, n2 := freshApply(), freshApply()
+		if n1 == nil || n2 == nil {
+			return
+		}
+		e.mut.Rewrite(v, []*graph.Vertex{n1, n2}, e.vs(ops...), func() {
+			wire(n2, ops[1], ops[3])
+			wire(n1, ops[0], n2.ID)
+			setV(n1.ID, ops[2])
+		})
+	case graph.CombY: // Y f → f (Y f), as a cyclic knot: v := f v
+		e.mut.Rewrite(v, nil, e.vs(ops[0]), func() {
+			setV(ops[0], v.ID)
+		})
+	default:
+		e.fail(v, "unknown combinator %v", c)
+	}
+}
+
+// flattenPrim rewrites the saturated prim redex v into the flat PrimApp
+// form with the operands as direct children — making v's operand requests
+// legal req-args(v) entries, as the model requires.
+func (e *Engine) flattenPrim(v *graph.Vertex, p graph.Prim, ops []graph.VertexID) {
+	e.mut.Rewrite(v, nil, e.vs(ops...), func() {
+		v.Kind = graph.KindPrimApp
+		v.Val = int64(p)
+		v.Args = append(v.Args[:0], ops...)
+		v.ReqKinds = v.ReqKinds[:0]
+		for range ops {
+			v.ReqKinds = append(v.ReqKinds, graph.ReqNone)
+		}
+	})
+}

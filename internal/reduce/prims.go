@@ -1,0 +1,402 @@
+package reduce
+
+import (
+	"dgr/internal/graph"
+)
+
+// operand fetches the i-th operand edge of the PrimApp v.
+func (e *Engine) operand(v *graph.Vertex, i int) (graph.VertexID, bool) {
+	v.Lock()
+	defer v.Unlock()
+	if v.Kind != graph.KindPrimApp || i >= len(v.Args) {
+		return graph.NilVertex, false
+	}
+	return v.Args[i], true
+}
+
+// needValue resolves operand i to a WHNF vertex, demanding it with the
+// given kind if not yet available. Returns (vertex, true) when ready.
+func (e *Engine) needValue(v *graph.Vertex, i int, kind graph.ReqKind) (*graph.Vertex, bool) {
+	op, ok := e.operand(v, i)
+	if !ok {
+		return nil, false
+	}
+	final, whnf := e.resolveWHNF(op)
+	if whnf {
+		return final, true
+	}
+	if final == nil {
+		// Cyclic operand: quiesce; deadlock detection reports it.
+		return nil, false
+	}
+	e.demandFrom(v, op, kind)
+	return nil, false
+}
+
+// intOf extracts an integer from a WHNF vertex.
+func (e *Engine) intOf(v, w *graph.Vertex) (int64, bool) {
+	w.Lock()
+	defer w.Unlock()
+	if w.Kind != graph.KindInt {
+		e.failKind(v, w, "int")
+		return 0, false
+	}
+	return w.Val, true
+}
+
+// boolOf extracts a boolean from a WHNF vertex.
+func (e *Engine) boolOf(v, w *graph.Vertex) (bool, bool) {
+	w.Lock()
+	defer w.Unlock()
+	if w.Kind != graph.KindBool {
+		e.failKind(v, w, "bool")
+		return false, false
+	}
+	return w.Val != 0, true
+}
+
+func (e *Engine) failKind(v, w *graph.Vertex, want string) {
+	e.fail(v, "operand v%d has kind %s, want %s", w.ID, w.Kind, want)
+}
+
+// finishLeaf relabels v to a literal leaf and completes it.
+func (e *Engine) finishLeaf(v *graph.Vertex, kind graph.Kind, val int64) {
+	e.mut.RelabelLeaf(v, kind, val)
+	v.Lock()
+	v.Red.WHNF = true
+	v.Unlock()
+	if e.cfg.Counters != nil {
+		e.cfg.Counters.Rewrites.Add(1)
+	}
+	e.complete(v)
+}
+
+// finishBool is finishLeaf for booleans.
+func (e *Engine) finishBool(v *graph.Vertex, b bool) {
+	var n int64
+	if b {
+		n = 1
+	}
+	e.finishLeaf(v, graph.KindBool, n)
+}
+
+// collapseTo rewrites v to an indirection to its direct child at operand
+// index i and continues reduction.
+func (e *Engine) collapseToOperand(v *graph.Vertex, i int) {
+	op, ok := e.operand(v, i)
+	if !ok {
+		return
+	}
+	c := e.store.Vertex(op)
+	if c == nil {
+		return
+	}
+	e.mut.CollapseToIndDirect(v, c)
+	if e.cfg.Counters != nil {
+		e.cfg.Counters.Rewrites.Add(1)
+	}
+	e.spawnReduce(v.ID)
+}
+
+// stepPrimApp reduces a flattened primitive application.
+func (e *Engine) stepPrimApp(v *graph.Vertex) {
+	v.Lock()
+	if v.Kind != graph.KindPrimApp {
+		v.Unlock()
+		e.spawnReduce(v.ID)
+		return
+	}
+	p := graph.Prim(v.Val)
+	v.Unlock()
+
+	kind := e.demandKind(v)
+
+	switch p {
+	case graph.PrimAdd, graph.PrimSub, graph.PrimMul, graph.PrimDiv,
+		graph.PrimMod, graph.PrimEq, graph.PrimNe, graph.PrimLt,
+		graph.PrimLe, graph.PrimGt, graph.PrimGe:
+		e.stepBinArith(v, p, kind)
+	case graph.PrimNeg, graph.PrimNot:
+		e.stepUnary(v, p, kind)
+	case graph.PrimAnd, graph.PrimOr:
+		e.stepBoolBin(v, p, kind)
+	case graph.PrimIf:
+		e.stepIf(v, kind)
+	case graph.PrimCons:
+		v.Lock()
+		v.Kind = graph.KindCons
+		v.Val = 0
+		v.Red.WHNF = true
+		v.Unlock()
+		e.complete(v)
+	case graph.PrimHead, graph.PrimTail:
+		e.stepHeadTail(v, p, kind)
+	case graph.PrimIsNil, graph.PrimIsPair:
+		w, ok := e.needValue(v, 0, kind)
+		if !ok {
+			return
+		}
+		w.Lock()
+		wk := w.Kind
+		w.Unlock()
+		if p == graph.PrimIsNil {
+			e.finishBool(v, wk == graph.KindNil)
+		} else {
+			e.finishBool(v, wk == graph.KindCons)
+		}
+	case graph.PrimSeq:
+		if _, ok := e.needValue(v, 0, kind); !ok {
+			return
+		}
+		e.collapseToOperand(v, 1)
+	case graph.PrimSpec:
+		e.stepSpec(v)
+	case graph.PrimPar:
+		a, okA := e.needValue(v, 0, kind)
+		b, okB := e.needValue(v, 1, kind)
+		if !okA || !okB {
+			return
+		}
+		_, _ = a, b
+		e.collapseToOperand(v, 1)
+	case graph.PrimIsBotOp:
+		// Footnote 5's non-monotonic probe: the operand is demanded
+		// vitally; if its value arrives the probe is false. If instead
+		// the probe itself is later found deadlocked (its operand can
+		// never return), ResolveBottomProbes relabels it true.
+		op, okOp := e.operand(v, 0)
+		if okOp {
+			e.registerProbe(v.ID, op)
+		}
+		if _, ok := e.needValue(v, 0, graph.ReqVital); !ok {
+			return
+		}
+		e.unregisterProbe(v.ID)
+		e.finishBool(v, false)
+	default:
+		e.fail(v, "unknown primitive %v", p)
+	}
+}
+
+func (e *Engine) stepBinArith(v *graph.Vertex, p graph.Prim, kind graph.ReqKind) {
+	// Demand both before testing, so the operands evaluate in parallel.
+	a, okA := e.needValue(v, 0, kind)
+	b, okB := e.needValue(v, 1, kind)
+	if !okA || !okB {
+		return
+	}
+	x, ok := e.intOf(v, a)
+	if !ok {
+		return
+	}
+	y, ok := e.intOf(v, b)
+	if !ok {
+		return
+	}
+	switch p {
+	case graph.PrimAdd:
+		e.finishLeaf(v, graph.KindInt, x+y)
+	case graph.PrimSub:
+		e.finishLeaf(v, graph.KindInt, x-y)
+	case graph.PrimMul:
+		e.finishLeaf(v, graph.KindInt, x*y)
+	case graph.PrimDiv:
+		if y == 0 {
+			e.fail(v, "division by zero")
+			return
+		}
+		e.finishLeaf(v, graph.KindInt, x/y)
+	case graph.PrimMod:
+		if y == 0 {
+			e.fail(v, "modulo by zero")
+			return
+		}
+		e.finishLeaf(v, graph.KindInt, x%y)
+	case graph.PrimEq:
+		e.finishBool(v, x == y)
+	case graph.PrimNe:
+		e.finishBool(v, x != y)
+	case graph.PrimLt:
+		e.finishBool(v, x < y)
+	case graph.PrimLe:
+		e.finishBool(v, x <= y)
+	case graph.PrimGt:
+		e.finishBool(v, x > y)
+	case graph.PrimGe:
+		e.finishBool(v, x >= y)
+	}
+}
+
+func (e *Engine) stepUnary(v *graph.Vertex, p graph.Prim, kind graph.ReqKind) {
+	a, ok := e.needValue(v, 0, kind)
+	if !ok {
+		return
+	}
+	if p == graph.PrimNeg {
+		x, ok := e.intOf(v, a)
+		if !ok {
+			return
+		}
+		e.finishLeaf(v, graph.KindInt, -x)
+		return
+	}
+	bval, ok := e.boolOf(v, a)
+	if !ok {
+		return
+	}
+	e.finishBool(v, !bval)
+}
+
+func (e *Engine) stepBoolBin(v *graph.Vertex, p graph.Prim, kind graph.ReqKind) {
+	a, okA := e.needValue(v, 0, kind)
+	b, okB := e.needValue(v, 1, kind)
+	if !okA || !okB {
+		return
+	}
+	x, ok := e.boolOf(v, a)
+	if !ok {
+		return
+	}
+	y, ok := e.boolOf(v, b)
+	if !ok {
+		return
+	}
+	if p == graph.PrimAnd {
+		e.finishBool(v, x && y)
+	} else {
+		e.finishBool(v, x || y)
+	}
+}
+
+// stepIf implements the conditional. With SpeculativeIf, both branches are
+// eagerly requested while the predicate computes (§3.2's eager tasks);
+// once the predicate resolves, the dead branch is dereferenced — making
+// any tasks already working on it irrelevant.
+func (e *Engine) stepIf(v *graph.Vertex, kind graph.ReqKind) {
+	if e.cfg.SpeculativeIf {
+		for _, i := range []int{1, 2} {
+			if op, ok := e.operand(v, i); ok {
+				e.speculate(v, op)
+			}
+		}
+	}
+	c, ok := e.needValue(v, 0, kind)
+	if !ok {
+		return
+	}
+	cond, ok := e.boolOf(v, c)
+	if !ok {
+		return
+	}
+	thenOp, ok1 := e.operand(v, 1)
+	elseOp, ok2 := e.operand(v, 2)
+	if !ok1 || !ok2 {
+		return
+	}
+	chosen, dead := thenOp, elseOp
+	chosenIdx := 1
+	if !cond {
+		chosen, dead = elseOp, thenOp
+		chosenIdx = 2
+	}
+	if dead != chosen {
+		// Dereference the dead branch if it was speculatively requested:
+		// remove it from req-args_e(v) and v from requested(dead). Its
+		// in-flight tasks become irrelevant (Property 6).
+		v.Lock()
+		deadKind := v.ReqKindOf(dead)
+		v.Unlock()
+		if deadKind == graph.ReqEager {
+			if dv := e.store.Vertex(dead); dv != nil {
+				e.mut.Dereference(v, dv)
+			}
+		}
+	}
+	// The dereference may have shifted operand indexes; re-find chosen.
+	v.Lock()
+	hasChosen := v.HasArg(chosen)
+	v.Unlock()
+	if !hasChosen {
+		e.fail(v, "if lost its chosen branch")
+		return
+	}
+	_ = chosenIdx
+	cv := e.store.Vertex(chosen)
+	if cv == nil {
+		return
+	}
+	e.mut.CollapseToIndDirect(v, cv)
+	if e.cfg.Counters != nil {
+		e.cfg.Counters.Rewrites.Add(1)
+	}
+	e.spawnReduce(v.ID)
+}
+
+// speculate eagerly requests child's value on v's behalf, registering both
+// sides synchronously (so the registration survives even if v is rewritten
+// before the demand executes) and spawning the eager demand.
+func (e *Engine) speculate(v *graph.Vertex, childID graph.VertexID) {
+	child := e.store.Vertex(childID)
+	if child == nil || childID == v.ID {
+		return
+	}
+	v.Lock()
+	cur := v.ReqKindOf(childID)
+	v.Unlock()
+	if cur != graph.ReqNone {
+		return // already requested
+	}
+	child.Lock()
+	whnf := e.whnfLocked(child)
+	child.Unlock()
+	if whnf {
+		return // nothing to speculate
+	}
+	if !e.mut.SetRequestKind(v, child, graph.ReqEager) {
+		return
+	}
+	e.mut.AddRequesterCoop(child, v, graph.ReqEager)
+	e.mach.Spawn(taskDemandEager(v.ID, childID))
+}
+
+func (e *Engine) stepSpec(v *graph.Vertex) {
+	op0, ok := e.operand(v, 0)
+	if !ok {
+		return
+	}
+	e.speculate(v, op0)
+	// Return the second operand immediately; the speculation's subgraph
+	// becomes unreachable the moment v collapses, so its tasks are
+	// irrelevant from then on — the paper's runaway-eager-work scenario.
+	e.collapseToOperand(v, 1)
+}
+
+func (e *Engine) stepHeadTail(v *graph.Vertex, p graph.Prim, kind graph.ReqKind) {
+	w, ok := e.needValue(v, 0, kind)
+	if !ok {
+		return
+	}
+	w.Lock()
+	if w.Kind != graph.KindCons || len(w.Args) != 2 {
+		wk := w.Kind
+		w.Unlock()
+		e.fail(v, "%v of non-pair %s", p, wk)
+		return
+	}
+	idx := 0
+	if p == graph.PrimTail {
+		idx = 1
+	}
+	target := w.Args[idx]
+	w.Unlock()
+
+	tv := e.store.Vertex(target)
+	if tv == nil {
+		return
+	}
+	e.mut.CollapseToInd(v, tv)
+	if e.cfg.Counters != nil {
+		e.cfg.Counters.Rewrites.Add(1)
+	}
+	e.spawnReduce(v.ID)
+}

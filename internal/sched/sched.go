@@ -1,0 +1,340 @@
+// Package sched implements the processing elements (PEs) of the model: n
+// autonomous workers, each owning one graph partition and one task pool, and
+// executing tasks whose destination vertex lives on that partition.
+//
+// Two interchangeable execution modes are provided:
+//
+//   - Deterministic: a single thread repeatedly picks a pseudo-random
+//     non-empty PE (seeded), pops one task and executes it. Every
+//     interleaving of marking and mutation is reproducible from the seed,
+//     which the concurrency property tests exploit.
+//   - Parallel: one goroutine per PE, blocking on its pool. This is the
+//     "real" distributed execution used by examples and throughput
+//     benchmarks.
+//
+// Task spawns crossing a partition boundary are counted as remote messages;
+// this is the simulation stand-in for the paper's inter-PE communication.
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dgr/internal/graph"
+	"dgr/internal/metrics"
+	"dgr/internal/task"
+)
+
+// Mode selects the execution strategy.
+type Mode uint8
+
+// Execution modes.
+const (
+	// Deterministic executes tasks one at a time under a seeded RNG.
+	Deterministic Mode = iota + 1
+	// Parallel runs one goroutine per PE.
+	Parallel
+)
+
+// ErrNotRunning is returned by operations that require Start in Parallel mode.
+var ErrNotRunning = errors.New("sched: machine not running")
+
+// Handler executes one task. Implementations (the marking engine and the
+// reduction engine, composed by internal/core's dispatcher) call back into
+// Machine.Spawn to propagate work.
+type Handler interface {
+	Handle(t task.Task)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(task.Task)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(t task.Task) { f(t) }
+
+// Config parameterizes a Machine.
+type Config struct {
+	// PEs is the number of processing elements (≥1).
+	PEs int
+	// Mode selects deterministic or parallel execution.
+	Mode Mode
+	// Seed drives the deterministic scheduler's PE/task choices.
+	Seed int64
+	// Adversarial, in deterministic mode, pops a uniformly random task from
+	// the chosen PE instead of respecting priority bands, maximizing
+	// interleaving coverage.
+	Adversarial bool
+	// PartOf maps a vertex to its owning partition; required.
+	PartOf func(graph.VertexID) int
+	// Counters receives statistics; optional.
+	Counters *metrics.Counters
+}
+
+// Machine is the PE ensemble.
+type Machine struct {
+	cfg     Config
+	pools   []*task.Pool
+	handler Handler
+
+	// inflight counts queued + currently executing tasks. It is atomic so
+	// the Spawn/execute hot path does not serialize the PEs; mu/cond are
+	// only taken on the rare transition to zero (quiescence signal) and by
+	// waiters.
+	inflight atomic.Int64
+	mu       sync.Mutex
+	cond     *sync.Cond
+	running  bool
+
+	rng *rand.Rand // deterministic mode only
+
+	// current[i] publishes PE i's in-execution task (nil when idle), so
+	// M_T's troot snapshot cannot miss a task that is neither queued nor
+	// finished. Per-PE atomics keep this off the global lock.
+	current []atomic.Pointer[task.Task]
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a machine. SetHandler must be called before any task executes.
+func New(cfg Config) *Machine {
+	if cfg.PEs < 1 {
+		cfg.PEs = 1
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = Deterministic
+	}
+	m := &Machine{
+		cfg:   cfg,
+		pools: make([]*task.Pool, cfg.PEs),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.current = make([]atomic.Pointer[task.Task], cfg.PEs)
+	for i := range m.pools {
+		m.pools[i] = task.NewPool()
+	}
+	return m
+}
+
+// SetHandler installs the task executor. It must be called exactly once,
+// before Start or Step.
+func (m *Machine) SetHandler(h Handler) { m.handler = h }
+
+// PEs returns the number of processing elements.
+func (m *Machine) PEs() int { return m.cfg.PEs }
+
+// Mode returns the execution mode.
+func (m *Machine) Mode() Mode { return m.cfg.Mode }
+
+// Pool returns the task pool of PE i (for the collector's taskpool snapshot,
+// expunging, and reprioritization).
+func (m *Machine) Pool(i int) *task.Pool { return m.pools[i] }
+
+// PartOf returns the partition owning a vertex.
+func (m *Machine) PartOf(id graph.VertexID) int {
+	p := m.cfg.PartOf(id)
+	if p < 0 || p >= m.cfg.PEs {
+		return 0
+	}
+	return p
+}
+
+// Spawn enqueues a task on the PE owning its destination. It corresponds to
+// the paper's "spawn f(x)": no waiting is done for the completion of the
+// task.
+func (m *Machine) Spawn(t task.Task) {
+	dst := m.PartOf(t.Dst)
+	if c := m.cfg.Counters; c != nil {
+		if t.Src != graph.NilVertex && m.PartOf(t.Src) != dst {
+			c.RemoteMessages.Add(1)
+		} else {
+			c.LocalMessages.Add(1)
+		}
+	}
+	m.inflight.Add(1)
+	m.pools[dst].Push(t)
+}
+
+// finish marks one task execution complete and signals quiescence waiters.
+func (m *Machine) finish() {
+	if m.inflight.Add(-1) == 0 {
+		m.mu.Lock()
+		m.mu.Unlock() // pairs with WaitQuiescent: no lost wakeup
+		m.cond.Broadcast()
+	}
+}
+
+// Inflight returns the number of queued plus executing tasks.
+func (m *Machine) Inflight() int64 { return m.inflight.Load() }
+
+// execute runs one task through the handler, with accounting. pe is the
+// executing processing element, used to publish the in-execution task so a
+// taskpool snapshot (M_T's troot) cannot miss a task that is neither queued
+// nor finished.
+func (m *Machine) execute(pe int, t task.Task) {
+	if c := m.cfg.Counters; c != nil {
+		c.TasksExecuted.Add(1)
+		switch t.Kind {
+		case task.Mark:
+			c.MarkTasks.Add(1)
+		case task.Return:
+			c.ReturnTasks.Add(1)
+		default:
+			c.ReductionTasks.Add(1)
+		}
+	}
+	m.current[pe].Store(&t)
+	m.handler.Handle(t)
+	m.current[pe].Store(nil)
+	m.finish()
+}
+
+// Expunge removes queued tasks matching pred from PE pe's pool, keeping
+// the in-flight accounting consistent (an expunged task will never execute,
+// so it must not be waited for). It returns the number removed.
+func (m *Machine) Expunge(pe int, pred func(task.Task) bool) int {
+	n := m.pools[pe].Expunge(pred)
+	if n > 0 && m.inflight.Add(int64(-n)) == 0 {
+		m.mu.Lock()
+		m.mu.Unlock() // pairs with WaitQuiescent: no lost wakeup
+		m.cond.Broadcast()
+	}
+	return n
+}
+
+// CurrentTasks returns a copy of the tasks currently being executed by the
+// PEs (empty in deterministic mode when called between steps).
+func (m *Machine) CurrentTasks() []task.Task {
+	out := make([]task.Task, 0, len(m.current))
+	for i := range m.current {
+		if t := m.current[i].Load(); t != nil {
+			out = append(out, *t)
+		}
+	}
+	return out
+}
+
+// Step executes one task in deterministic mode, picking a pseudo-random
+// non-empty PE. It reports whether a task was executed (false means the
+// machine is quiescent).
+func (m *Machine) Step() bool {
+	if m.cfg.Mode != Deterministic {
+		panic("sched: Step requires Deterministic mode")
+	}
+	nonEmpty := make([]int, 0, len(m.pools))
+	for i, p := range m.pools {
+		if p.Len() > 0 {
+			nonEmpty = append(nonEmpty, i)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return false
+	}
+	pe := nonEmpty[m.rng.Intn(len(nonEmpty))]
+	var t task.Task
+	var ok bool
+	if m.cfg.Adversarial {
+		t, ok = m.pools[pe].TryPopRandom(m.rng)
+	} else {
+		t, ok = m.pools[pe].TryPop()
+	}
+	if !ok {
+		return false
+	}
+	m.execute(pe, t)
+	return true
+}
+
+// RunUntil steps the deterministic machine until pred returns true or the
+// machine quiesces or max steps elapse; it returns the number of steps taken.
+// A max of 0 means no limit.
+func (m *Machine) RunUntil(pred func() bool, max int) int {
+	steps := 0
+	for (max == 0 || steps < max) && !pred() {
+		if !m.Step() {
+			break
+		}
+		steps++
+	}
+	return steps
+}
+
+// RunToQuiescence steps the deterministic machine until no tasks remain or
+// max steps elapse (0 = no limit); it returns the steps taken and whether
+// quiescence was reached.
+func (m *Machine) RunToQuiescence(max int) (int, bool) {
+	steps := 0
+	for max == 0 || steps < max {
+		if !m.Step() {
+			return steps, true
+		}
+		steps++
+	}
+	return steps, m.Inflight() == 0
+}
+
+// Start launches the PE goroutines in parallel mode.
+func (m *Machine) Start() {
+	if m.cfg.Mode != Parallel {
+		panic("sched: Start requires Parallel mode")
+	}
+	m.mu.Lock()
+	if m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = true
+	m.stop = make(chan struct{})
+	m.mu.Unlock()
+
+	for i := range m.pools {
+		m.wg.Add(1)
+		go m.peLoop(i)
+	}
+}
+
+func (m *Machine) peLoop(i int) {
+	defer m.wg.Done()
+	for {
+		t, ok := m.pools[i].PopWait()
+		if !ok {
+			return
+		}
+		m.execute(i, t)
+	}
+}
+
+// Stop shuts the PE goroutines down after their pools drain of already
+// popped tasks, and waits for them to exit. Remaining queued tasks are
+// executed before each PE notices the close (Pool.PopWait drains first).
+func (m *Machine) Stop() {
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = false
+	m.mu.Unlock()
+	for _, p := range m.pools {
+		p.Close()
+	}
+	m.wg.Wait()
+}
+
+// WaitQuiescent blocks until no tasks are queued or executing. In
+// deterministic mode it simply reports current quiescence. Note that
+// quiescence is only stable if nothing else (e.g. a collector goroutine)
+// spawns new tasks.
+func (m *Machine) WaitQuiescent() {
+	if m.cfg.Mode == Deterministic {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.inflight.Load() != 0 {
+		m.cond.Wait()
+	}
+}

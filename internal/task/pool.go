@@ -1,0 +1,194 @@
+package task
+
+import (
+	"math/rand"
+	"sync"
+
+	"dgr/internal/graph"
+)
+
+// Pool is the per-PE taskpool(i) of §5.2: all unexecuted tasks whose
+// destination resides on that PE. It is safe for concurrent use. Tasks are
+// held in priority bands (marking > vital > eager > reserve) with FIFO order
+// within a band.
+type Pool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	bands [numBands][]Task
+	n     int
+	// closed stops blocking waiters.
+	closed bool
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Push enqueues a task, computing its band.
+func (p *Pool) Push(t Task) {
+	t.Band = t.ComputeBand()
+	p.mu.Lock()
+	p.bands[t.Band] = append(p.bands[t.Band], t)
+	p.n++
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Len returns the number of queued tasks.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// TryPop removes and returns the highest-band task, FIFO within a band.
+func (p *Pool) TryPop() (Task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.popLocked()
+}
+
+func (p *Pool) popLocked() (Task, bool) {
+	if p.n == 0 {
+		return Task{}, false
+	}
+	for b := int(numBands) - 1; b >= 0; b-- {
+		if len(p.bands[b]) > 0 {
+			t := p.bands[b][0]
+			p.bands[b] = p.bands[b][1:]
+			p.n--
+			return t, true
+		}
+	}
+	return Task{}, false
+}
+
+// TryPopRandom removes a uniformly random queued task (adversarial
+// scheduling for interleaving tests). rng must not be shared across
+// goroutines.
+func (p *Pool) TryPopRandom(rng *rand.Rand) (Task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.n == 0 {
+		return Task{}, false
+	}
+	k := rng.Intn(p.n)
+	for b := range p.bands {
+		if k < len(p.bands[b]) {
+			t := p.bands[b][k]
+			p.bands[b] = append(p.bands[b][:k], p.bands[b][k+1:]...)
+			p.n--
+			return t, true
+		}
+		k -= len(p.bands[b])
+	}
+	return Task{}, false // unreachable
+}
+
+// PopWait blocks until a task is available or the pool is closed. The
+// second return is false only after Close.
+func (p *Pool) PopWait() (Task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if t, ok := p.popLocked(); ok {
+			return t, true
+		}
+		if p.closed {
+			return Task{}, false
+		}
+		p.cond.Wait()
+	}
+}
+
+// Close wakes all blocked waiters; subsequent PopWait calls drain remaining
+// tasks and then return false.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Kick wakes one waiter without pushing (used when external state such as a
+// stop flag changed).
+func (p *Pool) Kick() { p.cond.Broadcast() }
+
+// Each calls fn for every queued task under the pool lock. fn must not call
+// back into the pool. This is the taskpool snapshot M_T uses to build
+// taskroot_i: a task is atomically either in some pool or not yet spawned,
+// so no task is "in transit" and unobservable.
+func (p *Pool) Each(fn func(Task)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for b := range p.bands {
+		for _, t := range p.bands[b] {
+			fn(t)
+		}
+	}
+}
+
+// Expunge removes every task for which pred returns true and reports how
+// many were removed. This implements the restructuring phase's deletion of
+// irrelevant tasks.
+func (p *Pool) Expunge(pred func(Task) bool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	removed := 0
+	for b := range p.bands {
+		kept := p.bands[b][:0]
+		for _, t := range p.bands[b] {
+			if pred(t) {
+				removed++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		p.bands[b] = kept
+	}
+	p.n -= removed
+	return removed
+}
+
+// Reprioritize recomputes each queued task's request kind via fn (given the
+// task, returns the new request kind) and moves tasks between bands
+// accordingly. It implements §3.2's dynamic prioritization: after a marking
+// cycle, a task's priority is re-derived from the priority its destination
+// was marked with. It returns the number of tasks whose band changed.
+func (p *Pool) Reprioritize(fn func(Task) graph.ReqKind) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	changed := 0
+	var moved []Task
+	for b := range p.bands {
+		kept := p.bands[b][:0]
+		for _, t := range p.bands[b] {
+			if t.Kind != Demand {
+				kept = append(kept, t)
+				continue
+			}
+			nk := fn(t)
+			if nk == t.Req {
+				kept = append(kept, t)
+				continue
+			}
+			t.Req = nk
+			nb := t.ComputeBand()
+			if nb == t.Band {
+				kept = append(kept, t)
+				continue
+			}
+			t.Band = nb
+			moved = append(moved, t)
+			changed++
+		}
+		p.bands[b] = kept
+	}
+	for _, t := range moved {
+		p.bands[t.Band] = append(p.bands[t.Band], t)
+	}
+	return changed
+}

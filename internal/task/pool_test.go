@@ -1,0 +1,281 @@
+package task
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dgr/internal/graph"
+)
+
+func TestKindPredicates(t *testing.T) {
+	if !Mark.IsMarking() || !Return.IsMarking() {
+		t.Fatal("marking predicates wrong")
+	}
+	if Mark.IsReduction() || !Demand.IsReduction() || !Result.IsReduction() || !Reduce.IsReduction() {
+		t.Fatal("reduction predicates wrong")
+	}
+	if Demand.String() != "demand" || Kind(99).String() != "task(99)" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestComputeBand(t *testing.T) {
+	tests := []struct {
+		task Task
+		want uint8
+	}{
+		{Task{Kind: Mark}, BandMarking},
+		{Task{Kind: Return}, BandMarking},
+		{Task{Kind: Demand, Req: graph.ReqVital}, BandVital},
+		{Task{Kind: Demand, Req: graph.ReqEager}, BandEager},
+		{Task{Kind: Demand, Req: graph.ReqNone}, BandReserve},
+		{Task{Kind: Result}, BandVital},
+		{Task{Kind: Reduce}, BandVital},
+	}
+	for _, tt := range tests {
+		if got := tt.task.ComputeBand(); got != tt.want {
+			t.Errorf("%v band = %d, want %d", tt.task, got, tt.want)
+		}
+	}
+}
+
+func TestPoolPriorityOrder(t *testing.T) {
+	p := NewPool()
+	p.Push(Task{Kind: Demand, Dst: 1, Req: graph.ReqEager})
+	p.Push(Task{Kind: Demand, Dst: 2, Req: graph.ReqVital})
+	p.Push(Task{Kind: Mark, Dst: 3})
+	p.Push(Task{Kind: Demand, Dst: 4, Req: graph.ReqNone})
+	p.Push(Task{Kind: Demand, Dst: 5, Req: graph.ReqVital})
+
+	wantOrder := []graph.VertexID{3, 2, 5, 1, 4} // marking, vital FIFO, eager, reserve
+	for i, want := range wantOrder {
+		tk, ok := p.TryPop()
+		if !ok {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if tk.Dst != want {
+			t.Fatalf("pop %d = dst %d, want %d", i, tk.Dst, want)
+		}
+	}
+	if _, ok := p.TryPop(); ok {
+		t.Fatal("pool should be empty")
+	}
+}
+
+func TestPoolLen(t *testing.T) {
+	p := NewPool()
+	if p.Len() != 0 {
+		t.Fatal("new pool not empty")
+	}
+	p.Push(Task{Kind: Reduce, Dst: 1})
+	p.Push(Task{Kind: Reduce, Dst: 2})
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	p.TryPop()
+	if p.Len() != 1 {
+		t.Fatalf("Len after pop = %d", p.Len())
+	}
+}
+
+func TestPoolPopRandomExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPool()
+	seen := map[graph.VertexID]bool{}
+	for i := 1; i <= 20; i++ {
+		p.Push(Task{Kind: Demand, Dst: graph.VertexID(i), Req: graph.ReqKind(i % 3)})
+	}
+	for i := 0; i < 20; i++ {
+		tk, ok := p.TryPopRandom(rng)
+		if !ok {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if seen[tk.Dst] {
+			t.Fatalf("task %d popped twice", tk.Dst)
+		}
+		seen[tk.Dst] = true
+	}
+	if _, ok := p.TryPopRandom(rng); ok {
+		t.Fatal("pool should be empty")
+	}
+}
+
+func TestPoolPopWaitClose(t *testing.T) {
+	p := NewPool()
+	done := make(chan Task, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tk, ok := p.PopWait()
+		if ok {
+			done <- tk
+		}
+		close(done)
+	}()
+	p.Push(Task{Kind: Reduce, Dst: 42})
+	tk, ok := <-done
+	if !ok || tk.Dst != 42 {
+		t.Fatalf("PopWait = %v, %v", tk, ok)
+	}
+	wg.Wait()
+
+	// After Close, PopWait drains then reports closed.
+	p.Push(Task{Kind: Reduce, Dst: 1})
+	p.Close()
+	if tk, ok := p.PopWait(); !ok || tk.Dst != 1 {
+		t.Fatalf("drain after close = %v, %v", tk, ok)
+	}
+	if _, ok := p.PopWait(); ok {
+		t.Fatal("PopWait on closed empty pool should report closed")
+	}
+}
+
+func TestPoolEach(t *testing.T) {
+	p := NewPool()
+	p.Push(Task{Kind: Demand, Src: 1, Dst: 2, Req: graph.ReqVital})
+	p.Push(Task{Kind: Mark, Dst: 3})
+	var got []Task
+	p.Each(func(tk Task) { got = append(got, tk) })
+	if len(got) != 2 {
+		t.Fatalf("Each visited %d tasks", len(got))
+	}
+}
+
+func TestPoolExpunge(t *testing.T) {
+	p := NewPool()
+	for i := 1; i <= 10; i++ {
+		p.Push(Task{Kind: Demand, Dst: graph.VertexID(i), Req: graph.ReqEager})
+	}
+	n := p.Expunge(func(tk Task) bool { return tk.Dst%2 == 0 })
+	if n != 5 {
+		t.Fatalf("expunged %d, want 5", n)
+	}
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", p.Len())
+	}
+	p.Each(func(tk Task) {
+		if tk.Dst%2 == 0 {
+			t.Errorf("task %d should have been expunged", tk.Dst)
+		}
+	})
+}
+
+func TestPoolReprioritize(t *testing.T) {
+	p := NewPool()
+	p.Push(Task{Kind: Demand, Dst: 1, Req: graph.ReqEager})
+	p.Push(Task{Kind: Demand, Dst: 2, Req: graph.ReqVital})
+	p.Push(Task{Kind: Mark, Dst: 3}) // non-demand: untouched
+
+	// Upgrade everything to vital.
+	changed := p.Reprioritize(func(tk Task) graph.ReqKind { return graph.ReqVital })
+	if changed != 1 {
+		t.Fatalf("changed = %d, want 1", changed)
+	}
+	// Mark first, then the two now-vital demands; dst=2 was already in the
+	// vital band so it precedes the moved dst=1.
+	order := []graph.VertexID{3, 2, 1}
+	for i, want := range order {
+		tk, ok := p.TryPop()
+		if !ok || tk.Dst != want {
+			t.Fatalf("pop %d = %v (ok=%v), want dst %d", i, tk, ok, want)
+		}
+		if tk.Kind == Demand && tk.Req != graph.ReqVital {
+			t.Fatalf("task %v not upgraded", tk)
+		}
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	tk := Task{Kind: Mark, Src: 1, Dst: 2, Ctx: graph.CtxR, Prior: 3}
+	if got := tk.String(); got != "markR<1,2,p3>" {
+		t.Fatalf("String = %q", got)
+	}
+	tk2 := Task{Kind: Demand, Src: 3, Dst: 4, Req: graph.ReqEager}
+	if got := tk2.String(); got != "demand<3,4,eager>" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPoolQuickConservation(t *testing.T) {
+	// Property: every pushed task is popped exactly once, regardless of
+	// the mix of priority and random pops.
+	f := func(dsts []uint16, seed int64) bool {
+		if len(dsts) == 0 {
+			return true
+		}
+		p := NewPool()
+		want := map[graph.VertexID]int{}
+		for i, d := range dsts {
+			id := graph.VertexID(d) + 1
+			p.Push(Task{Kind: Demand, Dst: id, Req: graph.ReqKind(i % 3)})
+			want[id]++
+		}
+		rng := rand.New(rand.NewSource(seed))
+		got := map[graph.VertexID]int{}
+		for p.Len() > 0 {
+			var tk Task
+			var ok bool
+			if rng.Intn(2) == 0 {
+				tk, ok = p.TryPop()
+			} else {
+				tk, ok = p.TryPopRandom(rng)
+			}
+			if !ok {
+				return false
+			}
+			got[tk.Dst]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for id, n := range want {
+			if got[id] != n {
+				return false
+			}
+		}
+		_, ok := p.TryPop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolQuickBandOrder(t *testing.T) {
+	// Property: priority pops never yield a lower band before a higher
+	// band that was present at pop time.
+	f := func(kinds []uint8) bool {
+		p := NewPool()
+		for _, k := range kinds {
+			p.Push(Task{Kind: Demand, Dst: 1, Req: graph.ReqKind(k % 3)})
+		}
+		lastBand := int(numBands)
+		counts := make([]int, numBands)
+		p.mu.Lock()
+		for b := range p.bands {
+			counts[b] = len(p.bands[b])
+		}
+		p.mu.Unlock()
+		for {
+			tk, ok := p.TryPop()
+			if !ok {
+				return true
+			}
+			b := int(tk.Band)
+			// A higher band must have been empty when we popped b.
+			for hb := b + 1; hb < int(numBands); hb++ {
+				if counts[hb] > 0 {
+					return false
+				}
+			}
+			counts[b]--
+			_ = lastBand
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

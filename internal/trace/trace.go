@@ -1,0 +1,177 @@
+// Package trace provides a bounded event log and Graphviz (DOT) export of
+// computation-graph snapshots, used by the dgr-trace tool and for
+// debugging distributed runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"dgr/internal/graph"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq  uint64
+	Kind string
+	Src  graph.VertexID
+	Dst  graph.VertexID
+	Note string
+}
+
+// String renders the event.
+func (e Event) String() string {
+	if e.Note != "" {
+		return fmt.Sprintf("#%d %s <%d,%d> %s", e.Seq, e.Kind, e.Src, e.Dst, e.Note)
+	}
+	return fmt.Sprintf("#%d %s <%d,%d>", e.Seq, e.Kind, e.Src, e.Dst)
+}
+
+// Tracer is a fixed-capacity ring buffer of events, safe for concurrent
+// use. The zero value is unusable; use NewTracer.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64
+}
+
+// NewTracer builds a tracer retaining the last cap events.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Record appends an event.
+func (t *Tracer) Record(kind string, src, dst graph.VertexID, note string) {
+	t.mu.Lock()
+	t.ring[t.next%uint64(len(t.ring))] = Event{
+		Seq: t.next, Kind: kind, Src: src, Dst: dst, Note: note,
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Events returns the retained events in order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.ring))
+	start := uint64(0)
+	if t.next > n {
+		start = t.next - n
+	}
+	out := make([]Event, 0, t.next-start)
+	for i := start; i < t.next; i++ {
+		out = append(out, t.ring[i%n])
+	}
+	return out
+}
+
+// Len returns the total number of events ever recorded.
+func (t *Tracer) Len() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// DOTOptions controls snapshot rendering.
+type DOTOptions struct {
+	// Highlight colors specific vertices (e.g. deadlocked ones).
+	Highlight map[graph.VertexID]string
+	// ShowFree includes free-list vertices.
+	ShowFree bool
+	// Label overrides vertex labels.
+	Label func(sv *graph.SnapVertex) string
+}
+
+// WriteDOT renders a graph snapshot as Graphviz DOT. Solid arcs are args
+// edges (bold for vital, dashed-weight for eager); dotted arcs are
+// requested(v) entries, drawn from the requester as in the paper's
+// figures.
+func WriteDOT(w io.Writer, snap *graph.Snapshot, root graph.VertexID, opts DOTOptions) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("digraph computation {\n  rankdir=TB;\n  node [shape=circle fontsize=10];\n")
+
+	ids := make([]int, 0, snap.Len())
+	for i := 1; i <= snap.Len(); i++ {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		sv := snap.Vertex(graph.VertexID(i))
+		if sv == nil {
+			continue
+		}
+		if sv.Kind == graph.KindFree && !opts.ShowFree {
+			continue
+		}
+		label := defaultLabel(sv)
+		if opts.Label != nil {
+			label = opts.Label(sv)
+		}
+		attrs := fmt.Sprintf("label=%q", label)
+		if sv.ID == root {
+			attrs += " penwidth=2 shape=doublecircle"
+		}
+		if color, ok := opts.Highlight[sv.ID]; ok {
+			attrs += fmt.Sprintf(" style=filled fillcolor=%q", color)
+		}
+		p("  v%d [%s];\n", sv.ID, attrs)
+	}
+	for _, i := range ids {
+		sv := snap.Vertex(graph.VertexID(i))
+		if sv == nil || (sv.Kind == graph.KindFree && !opts.ShowFree) {
+			continue
+		}
+		for j, c := range sv.Args {
+			style := ""
+			switch sv.ReqKinds[j] {
+			case graph.ReqVital:
+				style = ` [label="*v" penwidth=2]`
+			case graph.ReqEager:
+				style = ` [label="*e"]`
+			}
+			p("  v%d -> v%d%s;\n", sv.ID, c, style)
+		}
+		for _, r := range sv.Requested {
+			p("  v%d -> v%d [style=dotted constraint=false];\n", r.Src, sv.ID)
+		}
+	}
+	p("}\n")
+	return err
+}
+
+func defaultLabel(sv *graph.SnapVertex) string {
+	switch sv.Kind {
+	case graph.KindInt:
+		return fmt.Sprintf("%d", sv.Val)
+	case graph.KindBool:
+		if sv.Val != 0 {
+			return "true"
+		}
+		return "false"
+	case graph.KindComb:
+		return graph.Comb(sv.Val).String()
+	case graph.KindPrim, graph.KindPrimApp:
+		return graph.Prim(sv.Val).String()
+	case graph.KindApply:
+		return "@"
+	case graph.KindInd:
+		return "→"
+	case graph.KindCons:
+		return ":"
+	case graph.KindNil:
+		return "[]"
+	default:
+		return sv.Kind.String()
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dgr/internal/graph"
+)
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record("step", graph.VertexID(i), graph.VertexID(i+1), "")
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	if evs[0].Seq != 2 || evs[2].Seq != 4 {
+		t.Fatalf("wrong window: %v", evs)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+}
+
+func TestTracerEventString(t *testing.T) {
+	e := Event{Seq: 1, Kind: "mark", Src: 2, Dst: 3, Note: "x"}
+	if got := e.String(); got != "#1 mark <2,3> x" {
+		t.Fatalf("String = %q", got)
+	}
+	e2 := Event{Seq: 2, Kind: "mark", Src: 2, Dst: 3}
+	if got := e2.String(); got != "#2 mark <2,3>" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	s := graph.NewStore(graph.Config{Partitions: 1, Capacity: 8})
+	b := graph.NewBuilder(s, 0)
+	one := b.Int(1)
+	app := b.App(b.Prim(graph.PrimNeg), one)
+	app.Lock()
+	app.SetReqKind(one.ID, graph.ReqVital)
+	app.Unlock()
+	one.Lock()
+	one.AddRequester(app.ID, graph.ReqVital)
+	one.Unlock()
+
+	var sb strings.Builder
+	err := WriteDOT(&sb, s.Snapshot(), app.ID, DOTOptions{
+		Highlight: map[graph.VertexID]string{one.ID: "red"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph computation",
+		"doublecircle",      // the root
+		"fillcolor=\"red\"", // highlight
+		"style=dotted",      // requester arc
+		"*v",                // vital edge label
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Free vertices hidden by default.
+	if strings.Contains(out, "free") {
+		t.Error("free vertices should be hidden")
+	}
+}

@@ -1,0 +1,126 @@
+package dgr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dgr/internal/workload"
+)
+
+// TestParallelStress runs the corpus concurrently on parallel machines —
+// PE goroutines, a background collector, and Eval all racing — primarily
+// as a race-detector workload.
+func TestParallelStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	programs := []string{"fac", "sumsquares", "churn"}
+	var wg sync.WaitGroup
+	for i, name := range programs {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			p := workload.Programs[name]
+			m := New(Options{
+				PEs:      4,
+				Parallel: true,
+				MTEvery:  2,
+				Timeout:  2 * time.Minute,
+				Capacity: 1 << 16,
+			})
+			defer m.Close()
+			v, err := m.Eval(p.Src)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			if v.Int != p.Want {
+				t.Errorf("%s = %v, want %d", name, v, p.Want)
+			}
+		}(i, name)
+	}
+	wg.Wait()
+}
+
+// TestParallelSpeculativeStress exercises the hairiest interleaving:
+// speculative reduction, cooperating mutator primitives, and continuous
+// background collection, all in parallel mode.
+func TestParallelSpeculativeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	m := New(Options{
+		PEs:           4,
+		Parallel:      true,
+		SpeculativeIf: true,
+		MTEvery:       2,
+		Timeout:       2 * time.Minute,
+		Capacity:      1 << 18,
+	})
+	defer m.Close()
+	v, err := m.Eval("let fac n = if n == 0 then 1 else n * fac (n - 1) in fac 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 362880 {
+		t.Fatalf("fac 9 = %v", v)
+	}
+}
+
+// TestParallelRepeatedEvals reuses one parallel machine for many programs
+// back to back, checking the collector keeps the heap bounded.
+func TestParallelRepeatedEvals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	m := New(Options{PEs: 4, Parallel: true, Capacity: 1 << 16, Timeout: 2 * time.Minute})
+	defer m.Close()
+	for i := 0; i < 10; i++ {
+		src := fmt.Sprintf("let fac n = if n == 0 then 1 else n * fac (n - 1) in fac %d", 5+i%3)
+		if _, err := m.Eval(src); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	// The background collector needs a few cycles to catch up with the
+	// garbage the evals left behind.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && m.Stats().Reclaimed == 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	s := m.Stats()
+	if s.Reclaimed == 0 {
+		t.Fatal("repeated evals should have reclaimed garbage")
+	}
+	// Nothing may ever be falsely reported deadlocked: every program
+	// completed.
+	if s.DeadlockedFound != 0 {
+		t.Fatalf("false deadlocks on completed computations: %d", s.DeadlockedFound)
+	}
+}
+
+// TestNoGoroutineLeaks verifies Close tears down PE goroutines and the
+// collector.
+func TestNoGoroutineLeaks(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		m := New(Options{PEs: 8, Parallel: true})
+		if _, err := m.Eval("2 + 2"); err != nil {
+			t.Fatal(err)
+		}
+		m.Close()
+	}
+	// Allow brief settling.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
