@@ -73,6 +73,12 @@ func BenchmarkSpaceOverhead(b *testing.B) { runExperiment(b, "space") }
 // E14: end-to-end corpus profile.
 func BenchmarkCorpusPrograms(b *testing.B) { runExperiment(b, "programs") }
 
+// E15: inter-PE fabric batching throughput (batched must beat unbatched).
+func BenchmarkFabricBatching(b *testing.B) { runExperiment(b, "fabric") }
+
+// E16: evaluation over a lossy fabric (exactly-once under injected drops).
+func BenchmarkFabricLoss(b *testing.B) { runExperiment(b, "fabdrop") }
+
 // BenchmarkReduce measures end-to-end reduction throughput (compile + run
 // + concurrent GC) for the corpus programs on a deterministic machine.
 func BenchmarkReduce(b *testing.B) {

@@ -1,13 +1,15 @@
 // Command dgr-trace runs a program (or a builtin scenario) and emits a
 // Graphviz DOT rendering of the computation graph, with deadlocked
 // vertices highlighted — the tool for visually reproducing the paper's
-// figures.
+// figures. With -jsonl it instead emits the machine's event trace
+// (including the fabric message lifecycle) as JSON Lines.
 //
 // Usage:
 //
 //	dgr-trace -e 'let x = x + 1 in x' > graph.dot
 //	dgr-trace -scenario fig32 > fig32.dot
 //	dgr-trace -e '1+2' -phase before > before.dot
+//	dgr-trace -e 'fib...' -fabric -drop 0.1 -jsonl > events.jsonl
 package main
 
 import (
@@ -37,6 +39,11 @@ func run() error {
 		pes      = flag.Int("pes", 2, "processing elements")
 		seed     = flag.Int64("seed", 1, "scheduling seed")
 		spec     = flag.Bool("spec", false, "speculative if branches")
+		jsonl    = flag.Bool("jsonl", false, "emit the event trace as JSON Lines instead of DOT")
+		fab      = flag.Bool("fabric", false, "route cross-PE spawns through the simulated fabric")
+		batch    = flag.Int("batch", 0, "fabric batch size (0 = default)")
+		drop     = flag.Float64("drop", 0, "fabric per-transmission drop rate")
+		latency  = flag.Duration("latency", 0, "fabric link latency")
 	)
 	flag.Parse()
 
@@ -44,7 +51,15 @@ func run() error {
 	case *scenario != "":
 		return dumpScenario(*scenario)
 	case *expr != "":
-		return dumpProgram(*expr, *phase, *pes, *seed, *spec)
+		opts := dgr.Options{
+			PEs: *pes, Seed: *seed, SpeculativeIf: *spec, MTEvery: 1, Capacity: 1 << 14,
+			Fabric: *fab, BatchSize: *batch, DropRate: *drop, LinkLatency: *latency,
+		}
+		if *jsonl {
+			opts.TraceCapacity = 1 << 18
+			return dumpJSONL(*expr, opts)
+		}
+		return dumpProgram(*expr, *phase, opts)
 	default:
 		return fmt.Errorf("use -e or -scenario")
 	}
@@ -73,10 +88,8 @@ func dumpScenario(name string) error {
 	return trace.WriteDOT(os.Stdout, sc.Store.Snapshot(), sc.Root, trace.DOTOptions{Highlight: hl})
 }
 
-func dumpProgram(src, phase string, pes int, seed int64, spec bool) error {
-	m := dgr.New(dgr.Options{
-		PEs: pes, Seed: seed, SpeculativeIf: spec, MTEvery: 1, Capacity: 1 << 14,
-	})
+func dumpProgram(src, phase string, opts dgr.Options) error {
+	m := dgr.New(opts)
 	defer m.Close()
 	root, err := m.Compile(src)
 	if err != nil {
@@ -96,4 +109,23 @@ func dumpProgram(src, phase string, pes int, seed int64, spec bool) error {
 		hl[id] = "salmon"
 	}
 	return trace.WriteDOT(os.Stdout, m.Snapshot(), root, trace.DOTOptions{Highlight: hl})
+}
+
+func dumpJSONL(src string, opts dgr.Options) error {
+	m := dgr.New(opts)
+	defer m.Close()
+	v, evalErr := m.Eval(src)
+	if evalErr != nil {
+		fmt.Fprintf(os.Stderr, "evaluation: %v\n", evalErr)
+	} else {
+		fmt.Fprintf(os.Stderr, "result: %s\n", v)
+	}
+	if opts.Fabric {
+		for _, ls := range m.FabricStats() {
+			fmt.Fprintf(os.Stderr, "link %d->%d: sent=%d delivered=%d batches=%d dropped=%d retries=%d dup=%d lat[µs]=%s\n",
+				ls.From, ls.To, ls.Sent, ls.Delivered, ls.Batches,
+				ls.Dropped, ls.Retries, ls.Duplicates, ls.Latency)
+		}
+	}
+	return m.WriteTraceJSONL(os.Stdout)
 }

@@ -19,14 +19,17 @@ package dgr
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"dgr/internal/core"
+	"dgr/internal/fabric"
 	"dgr/internal/graph"
 	"dgr/internal/lang"
 	"dgr/internal/metrics"
 	"dgr/internal/reduce"
 	"dgr/internal/sched"
+	"dgr/internal/trace"
 )
 
 // Re-exported result and identifier types.
@@ -81,6 +84,34 @@ type Options struct {
 	Timeout time.Duration
 	// Pace idles the parallel collector between cycles (default 100µs).
 	Pace time.Duration
+	// Adversarial, in deterministic mode, pops uniformly random tasks
+	// instead of respecting priority bands (interleaving stress).
+	Adversarial bool
+
+	// Fabric routes every cross-partition spawn through a simulated
+	// inter-PE network with batching, latency, loss, and at-least-once
+	// redelivery instead of pushing directly into the destination pool.
+	// The remaining fields tune it (zero values get fabric defaults:
+	// BatchSize 16, FlushEvery 100µs, RetryEvery derived).
+	Fabric bool
+	// BatchSize flushes a link's outbox at this many buffered tasks.
+	BatchSize int
+	// FlushEvery flushes an outbox when its oldest task is this old.
+	FlushEvery time.Duration
+	// DropRate injects per-transmission loss (clamped to 0.95); delivery
+	// stays exactly-once end to end via ack/retry/dedup.
+	DropRate float64
+	// LinkLatency delays every transmission; Jitter adds a uniform random
+	// extra; ReorderRate holds batches back behind later traffic.
+	LinkLatency time.Duration
+	Jitter      time.Duration
+	ReorderRate float64
+	// RetryEvery is the retransmission timeout for unacked batches.
+	RetryEvery time.Duration
+
+	// TraceCapacity, when positive, retains the last N machine events
+	// (fabric message lifecycle among them) for WriteTraceJSONL.
+	TraceCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -120,6 +151,8 @@ type Machine struct {
 	engine    *reduce.Engine
 	collector *core.Collector
 	counters  *metrics.Counters
+	fab       *fabric.Fabric
+	tracer    *trace.Tracer
 	closed    bool
 }
 
@@ -136,12 +169,35 @@ func New(opts Options) *Machine {
 	if opts.Parallel {
 		mode = sched.Parallel
 	}
+	var tracer *trace.Tracer
+	if opts.TraceCapacity > 0 {
+		tracer = trace.NewTracer(opts.TraceCapacity)
+	}
+	var fab *fabric.Fabric
+	if opts.Fabric {
+		fab = fabric.New(fabric.Config{
+			PEs:         opts.PEs,
+			Parallel:    opts.Parallel,
+			Seed:        opts.Seed,
+			BatchSize:   opts.BatchSize,
+			FlushEvery:  opts.FlushEvery,
+			LinkLatency: opts.LinkLatency,
+			Jitter:      opts.Jitter,
+			DropRate:    opts.DropRate,
+			ReorderRate: opts.ReorderRate,
+			RetryEvery:  opts.RetryEvery,
+			Counters:    counters,
+			Tracer:      tracer,
+		})
+	}
 	mach := sched.New(sched.Config{
-		PEs:      opts.PEs,
-		Mode:     mode,
-		Seed:     opts.Seed,
-		PartOf:   store.PartitionOf,
-		Counters: counters,
+		PEs:         opts.PEs,
+		Mode:        mode,
+		Seed:        opts.Seed,
+		Adversarial: opts.Adversarial,
+		PartOf:      store.PartitionOf,
+		Counters:    counters,
+		Fabric:      fab,
 	})
 	marker := core.NewMarker(store, mach, counters)
 	mut := core.NewMutator(store, marker, mach, counters)
@@ -166,6 +222,7 @@ func New(opts Options) *Machine {
 	m := &Machine{
 		opts: opts, store: store, mach: mach, marker: marker,
 		mut: mut, engine: engine, collector: collector, counters: counters,
+		fab: fab, tracer: tracer,
 	}
 	if opts.Parallel {
 		mach.Start()
@@ -182,7 +239,9 @@ func (m *Machine) Close() {
 	m.closed = true
 	if m.opts.Parallel {
 		m.collector.Stop()
-		m.mach.Stop()
+		m.mach.Stop() // also flushes and closes the fabric
+	} else if m.fab != nil {
+		m.fab.Close()
 	}
 }
 
@@ -357,6 +416,24 @@ func (m *Machine) DemandNode(root NodeID) <-chan Value {
 
 // Stats snapshots the machine's counters.
 func (m *Machine) Stats() Stats { return m.counters.Snapshot() }
+
+// FabricStats returns per-link fabric traffic summaries, ordered by
+// (from, to) PE pair. It is nil when Options.Fabric is off.
+func (m *Machine) FabricStats() []fabric.LinkStat {
+	if m.fab == nil {
+		return nil
+	}
+	return m.fab.LinkStats()
+}
+
+// WriteTraceJSONL writes the retained machine events (message lifecycle
+// included) as JSON Lines. It errors unless Options.TraceCapacity was set.
+func (m *Machine) WriteTraceJSONL(w io.Writer) error {
+	if m.tracer == nil {
+		return errors.New("dgr: tracing disabled (set Options.TraceCapacity)")
+	}
+	return m.tracer.WriteJSONL(w)
+}
 
 // Deadlocked returns every vertex the collector has identified as
 // deadlocked so far.

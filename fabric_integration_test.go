@@ -1,0 +1,220 @@
+package dgr
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dgr/internal/workload"
+)
+
+// lossyFabricOpts is the standard "hostile network" configuration used by
+// the integration tests: every cross-partition spawn rides a batched link
+// with 10% transmission loss, latency, jitter, and reordering.
+func lossyFabricOpts(seed int64) Options {
+	return Options{
+		PEs:         4,
+		Seed:        seed,
+		Fabric:      true,
+		BatchSize:   8,
+		FlushEvery:  20 * time.Microsecond,
+		LinkLatency: 5 * time.Microsecond,
+		Jitter:      3 * time.Microsecond,
+		DropRate:    0.10,
+		ReorderRate: 0.10,
+	}
+}
+
+// TestFabricCorpus is the tentpole acceptance check: with the fabric
+// enabled at a 10% drop rate, every seed program must still evaluate to
+// exactly its reference value — the at-least-once retry plus receiver
+// dedup makes the lossy network semantically invisible.
+func TestFabricCorpus(t *testing.T) {
+	var sent, delivered, expunged, dropped int64
+	for name, p := range workload.Programs {
+		t.Run(name, func(t *testing.T) {
+			m := New(lossyFabricOpts(11))
+			defer m.Close()
+			v, err := m.Eval(p.Src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Int != p.Want {
+				t.Fatalf("%s = %v, want %d", name, v, p.Want)
+			}
+			if !m.Quiescent() {
+				t.Fatal("machine not quiescent after Eval")
+			}
+			s := m.Stats()
+			// Conservation: every task handed to the fabric was either
+			// delivered to a pool or expunged as irrelevant — none lost.
+			if s.FabricSent != s.FabricDelivered+s.FabricExpunged {
+				t.Fatalf("fabric lost tasks: sent=%d delivered=%d expunged=%d",
+					s.FabricSent, s.FabricDelivered, s.FabricExpunged)
+			}
+			sent += s.FabricSent
+			delivered += s.FabricDelivered
+			expunged += s.FabricExpunged
+			dropped += s.FabricDropped
+		})
+	}
+	if sent == 0 {
+		t.Fatal("corpus produced no cross-partition traffic")
+	}
+	if dropped == 0 {
+		t.Fatal("10% drop rate injected no loss across the corpus")
+	}
+	t.Logf("corpus fabric traffic: sent=%d delivered=%d expunged=%d dropped=%d",
+		sent, delivered, expunged, dropped)
+}
+
+// TestFabricDeterministicReproducible: the fabric's latency, jitter, loss,
+// and reordering all come from seeded RNGs, so two deterministic runs with
+// the same seed must produce byte-identical counter snapshots.
+func TestFabricDeterministicReproducible(t *testing.T) {
+	run := func() Stats {
+		m := New(lossyFabricOpts(23))
+		defer m.Close()
+		v, err := m.Eval(workload.Programs["fib"].Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int != workload.Programs["fib"].Want {
+			t.Fatalf("fib = %v", v)
+		}
+		return m.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged under fabric:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.FabricDropped == 0 {
+		t.Fatal("expected injected loss at 10% drop")
+	}
+}
+
+// TestFabricParallelEval runs the full parallel machine — PE goroutines,
+// background collector, and the fabric's own pump — under 5% loss.
+func TestFabricParallelEval(t *testing.T) {
+	m := New(Options{
+		PEs:         4,
+		Parallel:    true,
+		Fabric:      true,
+		BatchSize:   8,
+		FlushEvery:  100 * time.Microsecond,
+		LinkLatency: 20 * time.Microsecond,
+		DropRate:    0.05,
+		Timeout:     2 * time.Minute,
+	})
+	defer m.Close()
+	p := workload.Programs["fib"]
+	v, err := m.Eval(p.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != p.Want {
+		t.Fatalf("fib = %v, want %d", v, p.Want)
+	}
+	// Eval returns as soon as the value is ready; stragglers may still be
+	// in flight. Close flushes and closes the fabric, after which the
+	// conservation law must hold exactly.
+	m.Close()
+	s := m.Stats()
+	if s.FabricSent == 0 {
+		t.Fatal("parallel eval produced no fabric traffic")
+	}
+	if s.FabricSent != s.FabricDelivered+s.FabricExpunged {
+		t.Fatalf("fabric lost tasks: sent=%d delivered=%d expunged=%d",
+			s.FabricSent, s.FabricDelivered, s.FabricExpunged)
+	}
+}
+
+// TestFabricLinkStats checks the per-link observability surface: stats
+// rows ordered by (from,to) and restricted to links that carried traffic,
+// latency histograms populated for every link that delivered a batch, and
+// per-link sums agreeing with the global counters.
+func TestFabricLinkStats(t *testing.T) {
+	m := New(lossyFabricOpts(5))
+	defer m.Close()
+	if _, err := m.Eval(workload.Programs["fib"].Src); err != nil {
+		t.Fatal(err)
+	}
+	st := m.FabricStats()
+	if len(st) == 0 || len(st) > 4*3 {
+		t.Fatalf("LinkStats rows = %d, want 1..12 for 4 PEs", len(st))
+	}
+	var sent, delivered int64
+	for i, ls := range st {
+		if i > 0 {
+			prev := st[i-1]
+			if ls.From < prev.From || (ls.From == prev.From && ls.To <= prev.To) {
+				t.Fatalf("LinkStats not ordered by (from,to): %+v after %+v", ls, prev)
+			}
+		}
+		if ls.Batches > 0 && ls.Latency.Total() != ls.Batches {
+			t.Fatalf("link %d->%d: %d latency samples for %d batches",
+				ls.From, ls.To, ls.Latency.Total(), ls.Batches)
+		}
+		sent += ls.Sent
+		delivered += ls.Delivered
+	}
+	s := m.Stats()
+	if sent != s.FabricSent || delivered != s.FabricDelivered {
+		t.Fatalf("per-link sums (sent=%d delivered=%d) disagree with counters (%d/%d)",
+			sent, delivered, s.FabricSent, s.FabricDelivered)
+	}
+	if m.FabricStats() == nil {
+		t.Fatal("FabricStats nil with fabric on")
+	}
+	m2 := New(Options{PEs: 2})
+	defer m2.Close()
+	if m2.FabricStats() != nil {
+		t.Fatal("FabricStats non-nil with fabric off")
+	}
+}
+
+// TestFabricTraceJSONL evaluates under a lossy fabric with tracing on and
+// checks the JSONL export is well-formed and includes the fabric message
+// lifecycle.
+func TestFabricTraceJSONL(t *testing.T) {
+	opts := lossyFabricOpts(9)
+	opts.TraceCapacity = 1 << 16
+	m := New(opts)
+	defer m.Close()
+	if _, err := m.Eval(workload.Programs["tak"].Src); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteTraceJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e struct {
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		kinds[e.Kind]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"fab.flush", "fab.deliver", "fab.drop"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events in trace: %v", k, kinds)
+		}
+	}
+
+	m2 := New(Options{PEs: 2})
+	defer m2.Close()
+	if err := m2.WriteTraceJSONL(&buf); err == nil {
+		t.Fatal("WriteTraceJSONL should error without TraceCapacity")
+	}
+}

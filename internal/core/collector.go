@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -124,9 +125,12 @@ func (c *Collector) Deadlocked() []graph.VertexID {
 }
 
 // taskRoots enumerates the marking roots for M_T: the source and
-// destination of every reduction task queued in any pool or currently
-// executing. This realizes the virtual troot whose args are the
-// taskroot_i vertices of §5.2.
+// destination of every reduction task queued in any pool, in transit
+// through the inter-PE fabric, or currently executing. This realizes the
+// virtual troot whose args are the taskroot_i vertices of §5.2; including
+// in-transit tasks keeps the snapshot exhaustive when spawned work can sit
+// in an outbox or on the wire, so a vertex awaited only by an undelivered
+// message is never misreported as deadlocked.
 func (c *Collector) taskRoots() []Root {
 	seen := make(map[graph.VertexID]bool)
 	add := func(t task.Task) {
@@ -143,6 +147,7 @@ func (c *Collector) taskRoots() []Root {
 	for i := 0; i < c.mach.PEs(); i++ {
 		c.mach.Pool(i).Each(add)
 	}
+	c.mach.EachInTransit(add)
 	for _, t := range c.mach.CurrentTasks() {
 		add(t)
 	}
@@ -150,6 +155,7 @@ func (c *Collector) taskRoots() []Root {
 	for id := range seen {
 		roots = append(roots, Root{ID: id})
 	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
 	return roots
 }
 
@@ -257,11 +263,16 @@ func (c *Collector) restructure(rep *CycleReport) {
 	// (Property 6: IRR = {<s,d> | d ∈ GAR}). The garbage set was computed
 	// above, so the pool predicate needs no vertex locks (avoiding
 	// pool→vertex lock nesting).
-	for i := 0; i < c.mach.PEs(); i++ {
-		rep.Expunged += c.mach.Expunge(i, func(t task.Task) bool {
-			return t.Kind.IsReduction() && garbageSet[t.Dst]
-		})
+	irrelevant := func(t task.Task) bool {
+		return t.Kind.IsReduction() && garbageSet[t.Dst]
 	}
+	for i := 0; i < c.mach.PEs(); i++ {
+		rep.Expunged += c.mach.Expunge(i, irrelevant)
+	}
+	// An undelivered message to a reclaimed vertex is equally irrelevant:
+	// delete it from the fabric so it neither executes nor holds up
+	// quiescence.
+	rep.Expunged += c.mach.ExpungeInTransit(irrelevant)
 
 	// Reprioritize surviving demand tasks from the priority their
 	// destination was marked with (§3.2 / §5): 3→vital, 2→eager,

@@ -30,20 +30,25 @@ func CheckInvariants(store *graph.Store, marker *Marker, mach *sched.Machine, ct
 	marksByPar := make(map[graph.VertexID]int)
 	marksByDst := make(map[graph.VertexID]int)
 	returnsByDst := make(map[graph.VertexID]int)
-	for i := 0; i < mach.PEs(); i++ {
-		mach.Pool(i).Each(func(t task.Task) {
-			if t.Ctx != ctx || t.Epoch != epoch {
-				return
-			}
-			switch t.Kind {
-			case task.Mark:
-				marksByPar[t.Src]++
-				marksByDst[t.Dst]++
-			case task.Return:
-				returnsByDst[t.Dst]++
-			}
-		})
+	count := func(t task.Task) {
+		if t.Ctx != ctx || t.Epoch != epoch {
+			return
+		}
+		switch t.Kind {
+		case task.Mark:
+			marksByPar[t.Src]++
+			marksByDst[t.Dst]++
+		case task.Return:
+			returnsByDst[t.Dst]++
+		}
 	}
+	for i := 0; i < mach.PEs(); i++ {
+		mach.Pool(i).Each(count)
+	}
+	// A mark or return in transit through the fabric is still pending — it
+	// must be accounted exactly like a queued one or I1/I3 would report
+	// false violations whenever a message is on the wire.
+	mach.EachInTransit(count)
 
 	transientBy := make(map[graph.VertexID]int)
 	store.ForEach(func(v *graph.Vertex) {

@@ -1,0 +1,724 @@
+// Package fabric simulates the inter-PE message network of the paper's
+// model. The paper's PEs have only local store and communicate exclusively
+// by propagating task messages <s,d> between adjacent vertices; before this
+// package, the scheduler's Spawn pushed cross-partition tasks straight into
+// the destination pool and merely counted them. The fabric makes the network
+// real enough to measure and to break:
+//
+//   - Batching/coalescing: each ordered PE pair (a link) has an outbox;
+//     cross-partition tasks buffer there and flush as a batch when the outbox
+//     reaches BatchSize or its oldest task has waited FlushEvery. A batch
+//     arrives at the destination pool in one PushBatch — one lock, one
+//     wakeup — amortizing per-message dispatch overhead the way PELCR-style
+//     aggregated message passing does.
+//
+//   - Fault injection: per-link latency, jitter, reorder, and drop
+//     probability. Delivery is at-least-once: batches carry per-link
+//     sequence numbers, the receiver acks, the sender retransmits unacked
+//     batches after RetryEvery, and the receiver dedups by sequence number,
+//     so every task is delivered into its pool exactly once even at 10%
+//     drop.
+//
+//   - Observability: per-link sent/delivered/dropped/retried/batched
+//     counters and an enqueue→delivery latency histogram, mirrored into the
+//     shared metrics.Counters.
+//
+// The fabric runs in two modes matching the scheduler's. In deterministic
+// mode time is virtual: one scheduler step is one tick (≈1µs), Tick advances
+// the clock, and Advance fast-forwards to the next due event when every pool
+// is empty, so a seeded run replays the identical loss schedule. In parallel
+// mode a pump goroutine flushes deadline-expired outboxes and retransmits,
+// and latency is realized with timers.
+//
+// Custody accounting: a task in the fabric (outbox or undelivered batch)
+// still counts against the machine's inflight counter, so quiescence
+// detection waits for in-transit messages; Each and Expunge expose those
+// tasks to the collector's M_T snapshot and restructuring phase.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgr/internal/graph"
+	"dgr/internal/metrics"
+	"dgr/internal/task"
+	"dgr/internal/trace"
+)
+
+// maxDropRate caps fault injection so retransmission always makes progress.
+const maxDropRate = 0.95
+
+// Config parameterizes a Fabric.
+type Config struct {
+	PEs      int
+	Parallel bool // drive with the pump goroutine instead of Tick/Advance
+	Seed     int64
+
+	BatchSize   int           // flush an outbox at this many tasks (default 16)
+	FlushEvery  time.Duration // flush an outbox when its oldest task is this old (default 100µs)
+	LinkLatency time.Duration // fixed one-way latency per transmission
+	Jitter      time.Duration // additional uniform random latency
+	DropRate    float64       // per-transmission loss probability, clamped to 0.95
+	ReorderRate float64       // probability a batch is held back behind later traffic
+	RetryEvery  time.Duration // retransmit an unacked batch after this long
+	// (default 2·FlushEvery + 4·(LinkLatency+Jitter), at least 1ms)
+
+	Counters *metrics.Counters // optional shared counters
+	Tracer   *trace.Tracer     // optional event log (fab.* events)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PEs < 1 {
+		c.PEs = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 100 * time.Microsecond
+	}
+	if c.RetryEvery <= 0 {
+		c.RetryEvery = 2*c.FlushEvery + 4*(c.LinkLatency+c.Jitter)
+		if c.RetryEvery < time.Millisecond {
+			c.RetryEvery = time.Millisecond
+		}
+	}
+	if c.DropRate < 0 {
+		c.DropRate = 0
+	}
+	if c.DropRate > maxDropRate {
+		c.DropRate = maxDropRate
+	}
+	if c.ReorderRate < 0 {
+		c.ReorderRate = 0
+	}
+	if c.ReorderRate > 1 {
+		c.ReorderRate = 1
+	}
+	return c
+}
+
+// Fabric is the inter-PE network: PEs*(PEs-1) independent links, each with
+// an outbox, an unacked-batch window, and fault-injection state.
+type Fabric struct {
+	cfg     Config
+	links   []*link // index from*PEs+to; nil on the diagonal
+	deliver func(pe int, ts []task.Task)
+
+	pending   atomic.Int64 // tasks in custody: outboxes + undelivered batches
+	busyLinks atomic.Int64 // links with any outbox/unacked state
+	tick      atomic.Int64 // deterministic virtual clock
+	closed    atomic.Bool
+
+	// Duration knobs converted to clock units: ticks in deterministic mode
+	// (1 tick ≈ 1µs), nanoseconds in parallel mode.
+	flushD, latD, jitD, retryD int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type link struct {
+	f        *Fabric
+	from, to int
+	busy     atomic.Bool // has outbox or unacked state (fast-path skip)
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	outbox     []task.Task
+	outboxBorn int64 // clock when the oldest outbox task was enqueued
+	nextSeq    uint64
+	unacked    map[uint64]*batch
+
+	// Stats, guarded by mu except the histogram (internally atomic).
+	sent, delivered, batches, dropped int64
+	retries, dups, acksDropped, expng int64
+	hist                              metrics.Histogram
+}
+
+// batch is a flushed group of tasks awaiting acknowledgement. The "wire"
+// carries only (link, seq): task data stays sender-side until the arrival
+// event reads it under the link lock, which makes expungement of in-transit
+// tasks and receiver-side dedup trivial.
+type batch struct {
+	seq      uint64
+	tasks    []task.Task
+	born     int64 // clock when the oldest task entered the outbox
+	attempts int
+	inFlight bool  // a transmission is en route
+	dueAt    int64 // deterministic mode: arrival tick of that transmission
+	retryAt  int64 // when to retransmit if not in flight (0 = not scheduled)
+	// delivered means the receiver has the tasks but the ack was lost; the
+	// batch stays in the window so retransmissions can be re-acked, and the
+	// receiver suppresses the duplicate.
+	delivered bool
+}
+
+// New builds a fabric. SetDeliver must be called before the first Enqueue.
+func New(cfg Config) *Fabric {
+	cfg = cfg.withDefaults()
+	f := &Fabric{cfg: cfg}
+	f.flushD = f.delta(cfg.FlushEvery)
+	f.latD = f.delta(cfg.LinkLatency)
+	f.jitD = f.delta(cfg.Jitter)
+	f.retryD = f.delta(cfg.RetryEvery)
+	f.links = make([]*link, cfg.PEs*cfg.PEs)
+	for s := 0; s < cfg.PEs; s++ {
+		for d := 0; d < cfg.PEs; d++ {
+			if s == d {
+				continue
+			}
+			idx := s*cfg.PEs + d
+			f.links[idx] = &link{
+				f:       f,
+				from:    s,
+				to:      d,
+				rng:     rand.New(rand.NewSource(cfg.Seed*7919 + int64(idx)*104729 + 1)),
+				unacked: make(map[uint64]*batch),
+			}
+		}
+	}
+	return f
+}
+
+// SetDeliver installs the delivery sink: the scheduler's per-PE pool push.
+func (f *Fabric) SetDeliver(fn func(pe int, ts []task.Task)) { f.deliver = fn }
+
+// delta converts a duration knob to clock units.
+func (f *Fabric) delta(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	if f.cfg.Parallel {
+		return int64(d)
+	}
+	t := int64(d / time.Microsecond)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (f *Fabric) now() int64 {
+	if f.cfg.Parallel {
+		return time.Now().UnixNano()
+	}
+	return f.tick.Load()
+}
+
+func (f *Fabric) link(from, to int) *link {
+	if from < 0 || to < 0 || from >= f.cfg.PEs || to >= f.cfg.PEs || from == to {
+		return nil
+	}
+	return f.links[from*f.cfg.PEs+to]
+}
+
+// Enqueue accepts a cross-partition task from PE `from` addressed to PE
+// `to`. The task buffers in the link's outbox until a count or deadline
+// flush. Degenerate routes (from == to, closing fabric) bypass the network
+// and deliver directly so no task is ever lost.
+func (f *Fabric) Enqueue(from, to int, t task.Task) {
+	lk := f.link(from, to)
+	if lk == nil || f.closed.Load() {
+		f.deliver(to, []task.Task{t})
+		return
+	}
+	now := f.now()
+	lk.mu.Lock()
+	if len(lk.outbox) == 0 {
+		lk.outboxBorn = now
+	}
+	lk.outbox = append(lk.outbox, t)
+	lk.sent++
+	lk.markBusyLocked()
+	f.pending.Add(1)
+	if c := f.cfg.Counters; c != nil {
+		c.FabricSent.Add(1)
+	}
+	if len(lk.outbox) >= f.cfg.BatchSize {
+		if b := lk.flushLocked(); b != nil {
+			lk.transmitLocked(b, now)
+		}
+	}
+	lk.mu.Unlock()
+}
+
+// flushLocked seals the outbox into a sequence-numbered batch and places it
+// in the unacked window. Caller holds lk.mu.
+func (lk *link) flushLocked() *batch {
+	if len(lk.outbox) == 0 {
+		return nil
+	}
+	lk.nextSeq++
+	b := &batch{seq: lk.nextSeq, tasks: lk.outbox, born: lk.outboxBorn}
+	lk.outbox = nil
+	lk.unacked[b.seq] = b
+	lk.batches++
+	if c := lk.f.cfg.Counters; c != nil {
+		c.FabricBatches.Add(1)
+	}
+	lk.f.traceEvent("fab.flush", lk, fmt.Sprintf("seq=%d n=%d", b.seq, len(b.tasks)))
+	return b
+}
+
+// transmitLocked puts one copy of the batch on the wire. Caller holds lk.mu.
+func (lk *link) transmitLocked(b *batch, now int64) {
+	f := lk.f
+	b.attempts++
+	b.retryAt = 0
+	if b.attempts > 1 {
+		lk.retries++
+		if c := f.cfg.Counters; c != nil {
+			c.FabricRetries.Add(1)
+		}
+		f.traceEvent("fab.retry", lk, fmt.Sprintf("seq=%d attempt=%d", b.seq, b.attempts))
+	}
+	delay := f.latD
+	if f.jitD > 0 {
+		delay += lk.rng.Int63n(f.jitD + 1)
+	}
+	if f.cfg.ReorderRate > 0 && lk.rng.Float64() < f.cfg.ReorderRate {
+		// Reorder fault: hold this copy back a full latency+flush window so
+		// batches flushed after it overtake it.
+		delay += f.latD + f.flushD
+	}
+	b.inFlight = true
+	if f.cfg.Parallel {
+		if delay <= 0 {
+			lk.arriveLocked(b, f.now())
+			return
+		}
+		seq := b.seq
+		time.AfterFunc(time.Duration(delay), func() { lk.arrive(seq) })
+		return
+	}
+	b.dueAt = now + delay
+	if b.dueAt <= now {
+		lk.arriveLocked(b, now)
+	}
+}
+
+// arrive realizes a parallel-mode transmission landing: the batch may have
+// been acked or expunged in the meantime, in which case this is a no-op.
+func (lk *link) arrive(seq uint64) {
+	lk.mu.Lock()
+	if b := lk.unacked[seq]; b != nil && b.inFlight {
+		lk.arriveLocked(b, lk.f.now())
+	}
+	lk.syncBusyLocked()
+	lk.mu.Unlock()
+}
+
+// arriveLocked is one transmission reaching the receiver: roll for drop,
+// deliver (or suppress the duplicate), then roll for ack loss. Caller holds
+// lk.mu; the delivery sink is invoked under it — pools are leaf locks.
+func (lk *link) arriveLocked(b *batch, now int64) {
+	f := lk.f
+	b.inFlight = false
+	b.dueAt = 0
+	c := f.cfg.Counters
+	if f.cfg.DropRate > 0 && lk.rng.Float64() < f.cfg.DropRate {
+		lk.dropped++
+		if c != nil {
+			c.FabricDropped.Add(1)
+		}
+		f.traceEvent("fab.drop", lk, fmt.Sprintf("seq=%d attempt=%d", b.seq, b.attempts))
+		b.retryAt = now + f.retryD
+		return
+	}
+	if !b.delivered {
+		b.delivered = true
+		n := int64(len(b.tasks))
+		lk.delivered += n
+		f.pending.Add(-n)
+		lat := now - b.born
+		if f.cfg.Parallel {
+			lat /= int64(time.Microsecond)
+		}
+		lk.hist.Observe(lat)
+		if c != nil {
+			c.FabricDelivered.Add(n)
+			c.FabricLatency.Observe(lat)
+		}
+		f.traceEvent("fab.deliver", lk, fmt.Sprintf("seq=%d n=%d attempt=%d", b.seq, len(b.tasks), b.attempts))
+		if n > 0 {
+			f.deliver(lk.to, b.tasks)
+		}
+	} else {
+		// Receiver-side dedup: it has seen seq already; just re-ack.
+		lk.dups++
+		if c != nil {
+			c.FabricDuplicates.Add(1)
+		}
+		f.traceEvent("fab.dup", lk, fmt.Sprintf("seq=%d", b.seq))
+	}
+	// The ack crosses the same lossy link.
+	if f.cfg.DropRate > 0 && lk.rng.Float64() < f.cfg.DropRate {
+		lk.acksDropped++
+		if c != nil {
+			c.FabricAcksDropped.Add(1)
+		}
+		f.traceEvent("fab.ackdrop", lk, fmt.Sprintf("seq=%d", b.seq))
+		b.retryAt = now + f.retryD
+		return
+	}
+	delete(lk.unacked, b.seq)
+}
+
+func (lk *link) markBusyLocked() {
+	if !lk.busy.Load() {
+		lk.busy.Store(true)
+		lk.f.busyLinks.Add(1)
+	}
+}
+
+func (lk *link) syncBusyLocked() {
+	idle := len(lk.outbox) == 0 && len(lk.unacked) == 0
+	if idle && lk.busy.Load() {
+		lk.busy.Store(false)
+		lk.f.busyLinks.Add(-1)
+	}
+}
+
+// Tick advances the deterministic virtual clock by one tick (the scheduler
+// calls it once per Step) and runs every due flush, arrival, and retry.
+func (f *Fabric) Tick() {
+	if f.cfg.Parallel {
+		return
+	}
+	now := f.tick.Add(1)
+	if f.busyLinks.Load() == 0 {
+		return
+	}
+	for _, lk := range f.links {
+		if lk == nil || !lk.busy.Load() {
+			continue
+		}
+		lk.runDue(now)
+	}
+}
+
+// runDue executes every event on the link due at or before now. Events run
+// in deterministic order (arrivals by due tick then sequence, retries by
+// retry tick then sequence) so the seeded rng stream replays identically.
+func (lk *link) runDue(now int64) {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if len(lk.outbox) > 0 && now >= lk.outboxBorn+lk.f.flushD {
+		if b := lk.flushLocked(); b != nil {
+			lk.transmitLocked(b, now)
+		}
+	}
+	var due, retry []*batch
+	for _, b := range lk.unacked {
+		switch {
+		case b.inFlight && b.dueAt > 0 && now >= b.dueAt:
+			due = append(due, b)
+		case !b.inFlight && b.retryAt > 0 && now >= b.retryAt:
+			retry = append(retry, b)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].dueAt != due[j].dueAt {
+			return due[i].dueAt < due[j].dueAt
+		}
+		return due[i].seq < due[j].seq
+	})
+	sort.Slice(retry, func(i, j int) bool {
+		if retry[i].retryAt != retry[j].retryAt {
+			return retry[i].retryAt < retry[j].retryAt
+		}
+		return retry[i].seq < retry[j].seq
+	})
+	for _, b := range due {
+		lk.arriveLocked(b, now)
+	}
+	for _, b := range retry {
+		if lk.unacked[b.seq] != nil { // may have been acked by an earlier arrival
+			lk.transmitLocked(b, now)
+		}
+	}
+	lk.syncBusyLocked()
+}
+
+// Advance fast-forwards the deterministic clock to the next due fabric
+// event and runs it. It returns false when no tasks are in transit — the
+// scheduler calls it only when every pool is empty, so false there means
+// quiescence. Each call makes progress: the clock jumps straight to the
+// earliest flush deadline, arrival, or retry.
+func (f *Fabric) Advance() bool {
+	if f.cfg.Parallel || f.pending.Load() == 0 {
+		return false
+	}
+	now := f.tick.Load()
+	next := int64(math.MaxInt64)
+	for _, lk := range f.links {
+		if lk == nil || !lk.busy.Load() {
+			continue
+		}
+		lk.mu.Lock()
+		if len(lk.outbox) > 0 {
+			if d := lk.outboxBorn + f.flushD; d < next {
+				next = d
+			}
+		}
+		for _, b := range lk.unacked {
+			switch {
+			case b.inFlight && b.dueAt > 0 && b.dueAt < next:
+				next = b.dueAt
+			case !b.inFlight && b.retryAt > 0 && b.retryAt < next:
+				next = b.retryAt
+			}
+		}
+		lk.mu.Unlock()
+	}
+	if next == math.MaxInt64 {
+		return false
+	}
+	if next < now {
+		next = now
+	}
+	f.tick.Store(next)
+	for _, lk := range f.links {
+		if lk == nil || !lk.busy.Load() {
+			continue
+		}
+		lk.runDue(next)
+	}
+	return true
+}
+
+// Start launches the parallel-mode pump goroutine that flushes
+// deadline-expired outboxes and retransmits unacked batches. No-op in
+// deterministic mode.
+func (f *Fabric) Start() {
+	if !f.cfg.Parallel || f.closed.Load() {
+		return
+	}
+	f.stop = make(chan struct{})
+	f.wg.Add(1)
+	go f.pump()
+}
+
+func (f *Fabric) pump() {
+	defer f.wg.Done()
+	period := f.cfg.FlushEvery
+	if period < 50*time.Microsecond {
+		period = 50 * time.Microsecond
+	}
+	tk := time.NewTicker(period)
+	defer tk.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-tk.C:
+			now := time.Now().UnixNano()
+			for _, lk := range f.links {
+				if lk == nil || !lk.busy.Load() {
+					continue
+				}
+				lk.runDuePar(now)
+			}
+		}
+	}
+}
+
+// runDuePar is the parallel-mode pump pass: deadline flushes and retries.
+// Arrivals happen on their own timers.
+func (lk *link) runDuePar(now int64) {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if len(lk.outbox) > 0 && now >= lk.outboxBorn+lk.f.flushD {
+		if b := lk.flushLocked(); b != nil {
+			lk.transmitLocked(b, now)
+		}
+	}
+	var retry []*batch
+	for _, b := range lk.unacked {
+		if !b.inFlight && b.retryAt > 0 && now >= b.retryAt {
+			retry = append(retry, b)
+		}
+	}
+	sort.Slice(retry, func(i, j int) bool { return retry[i].seq < retry[j].seq })
+	for _, b := range retry {
+		if lk.unacked[b.seq] != nil {
+			lk.transmitLocked(b, now)
+		}
+	}
+	lk.syncBusyLocked()
+}
+
+// Flush force-flushes every outbox immediately (deadline be damned) and, in
+// deterministic mode, pumps until nothing is in transit. Used by tests and
+// by drains that cannot wait for deadlines.
+func (f *Fabric) Flush() {
+	now := f.now()
+	for _, lk := range f.links {
+		if lk == nil || !lk.busy.Load() {
+			continue
+		}
+		lk.mu.Lock()
+		if b := lk.flushLocked(); b != nil {
+			lk.transmitLocked(b, now)
+		}
+		lk.syncBusyLocked()
+		lk.mu.Unlock()
+	}
+	if !f.cfg.Parallel {
+		for f.Advance() {
+		}
+	}
+}
+
+// Close stops the pump (parallel mode) and routes subsequent Enqueues
+// directly to the delivery sink. In-flight timer arrivals still complete,
+// so no task in custody is lost.
+func (f *Fabric) Close() {
+	if f.closed.Swap(true) {
+		return
+	}
+	if f.cfg.Parallel && f.stop != nil {
+		close(f.stop)
+		f.wg.Wait()
+	}
+}
+
+// Pending returns the number of tasks in fabric custody: buffered in an
+// outbox or sealed in an undelivered batch.
+func (f *Fabric) Pending() int64 { return f.pending.Load() }
+
+// Each calls fn for every task in fabric custody. This is the in-transit
+// half of the M_T taskpool snapshot: combined with Pool.Each, every live
+// task is observable to the collector.
+func (f *Fabric) Each(fn func(task.Task)) {
+	for _, lk := range f.links {
+		if lk == nil || !lk.busy.Load() {
+			continue
+		}
+		lk.mu.Lock()
+		for _, t := range lk.outbox {
+			fn(t)
+		}
+		for _, b := range lk.unacked {
+			if b.delivered {
+				continue
+			}
+			for _, t := range b.tasks {
+				fn(t)
+			}
+		}
+		lk.mu.Unlock()
+	}
+}
+
+// Expunge removes every in-custody task for which pred returns true —
+// restructuring's deletion of irrelevant tasks extended to messages on the
+// wire. Already-delivered batches are untouched (their tasks are in pools
+// and get expunged there). An in-flight batch whose tasks are all expunged
+// is dropped from the window, turning its arrival into a no-op.
+func (f *Fabric) Expunge(pred func(task.Task) bool) int {
+	removed := 0
+	for _, lk := range f.links {
+		if lk == nil || !lk.busy.Load() {
+			continue
+		}
+		lk.mu.Lock()
+		kept := lk.outbox[:0]
+		for _, t := range lk.outbox {
+			if pred(t) {
+				removed++
+				lk.expng++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		lk.outbox = kept
+		for seq, b := range lk.unacked {
+			if b.delivered {
+				continue
+			}
+			bk := b.tasks[:0]
+			for _, t := range b.tasks {
+				if pred(t) {
+					removed++
+					lk.expng++
+					continue
+				}
+				bk = append(bk, t)
+			}
+			b.tasks = bk
+			if len(b.tasks) == 0 {
+				delete(lk.unacked, seq)
+			}
+		}
+		lk.syncBusyLocked()
+		lk.mu.Unlock()
+	}
+	if removed > 0 {
+		f.pending.Add(int64(-removed))
+		if c := f.cfg.Counters; c != nil {
+			c.FabricExpunged.Add(int64(removed))
+		}
+	}
+	return removed
+}
+
+// LinkStat is a per-link traffic summary.
+type LinkStat struct {
+	From, To    int
+	Sent        int64 // tasks enqueued
+	Delivered   int64 // tasks delivered to the destination pool
+	Batches     int64 // batches flushed
+	Dropped     int64 // transmissions lost
+	Retries     int64 // retransmissions
+	Duplicates  int64 // duplicate deliveries suppressed
+	AcksDropped int64 // acks lost
+	Expunged    int64 // in-transit tasks expunged
+	InTransit   int   // tasks currently in custody
+	Latency     metrics.HistSnapshot
+}
+
+// LinkStats returns stats for every link that has carried traffic, ordered
+// by (from, to).
+func (f *Fabric) LinkStats() []LinkStat {
+	var out []LinkStat
+	for _, lk := range f.links {
+		if lk == nil {
+			continue
+		}
+		lk.mu.Lock()
+		if lk.sent == 0 {
+			lk.mu.Unlock()
+			continue
+		}
+		st := LinkStat{
+			From: lk.from, To: lk.to,
+			Sent: lk.sent, Delivered: lk.delivered, Batches: lk.batches,
+			Dropped: lk.dropped, Retries: lk.retries, Duplicates: lk.dups,
+			AcksDropped: lk.acksDropped, Expunged: lk.expng,
+			Latency: lk.hist.Snapshot(),
+		}
+		st.InTransit = len(lk.outbox)
+		for _, b := range lk.unacked {
+			if !b.delivered {
+				st.InTransit += len(b.tasks)
+			}
+		}
+		lk.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+func (f *Fabric) traceEvent(kind string, lk *link, note string) {
+	if f.cfg.Tracer != nil {
+		f.cfg.Tracer.Record(kind, graph.VertexID(lk.from), graph.VertexID(lk.to), note)
+	}
+}

@@ -5,6 +5,8 @@ package metrics
 
 import (
 	"fmt"
+	"math/bits"
+	"strings"
 	"sync/atomic"
 )
 
@@ -28,6 +30,104 @@ type Counters struct {
 	CoopMarks       atomic.Int64 // marks spawned by cooperating mutator primitives
 	MaxPauseNs      atomic.Int64 // longest single mutator pause (stop-the-world baseline)
 	TotalPauseNs    atomic.Int64 // cumulative mutator pause time
+
+	// Inter-PE fabric traffic (zero unless a fabric is wired in).
+	FabricSent        atomic.Int64 // tasks handed to the fabric for remote delivery
+	FabricDelivered   atomic.Int64 // tasks delivered into destination pools
+	FabricBatches     atomic.Int64 // batches flushed onto links
+	FabricDropped     atomic.Int64 // batch transmissions lost to fault injection
+	FabricRetries     atomic.Int64 // batch retransmissions after loss
+	FabricDuplicates  atomic.Int64 // duplicate deliveries suppressed by dedup
+	FabricAcksDropped atomic.Int64 // acknowledgements lost to fault injection
+	FabricExpunged    atomic.Int64 // in-transit tasks deleted by restructuring
+	FabricLatency     Histogram    // enqueue→delivery latency in µs
+}
+
+// HistBuckets is the number of log2 buckets in a Histogram. Bucket b counts
+// observations v with 2^(b-1) <= v < 2^b (bucket 0 counts v == 0), so the
+// top bucket absorbs everything >= 2^(HistBuckets-2).
+const HistBuckets = 16
+
+// Histogram is a lock-free log2-bucketed histogram of non-negative values.
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram's buckets.
+type HistSnapshot [HistBuckets]int64
+
+// Total returns the number of observations.
+func (s HistSnapshot) Total() int64 {
+	var n int64
+	for _, c := range s {
+		n += c
+	}
+	return n
+}
+
+// Sub returns s - o bucket-wise, for measuring an interval.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := range s {
+		d[i] = s[i] - o[i]
+	}
+	return d
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]): the
+// exclusive upper edge of the first bucket whose cumulative count reaches
+// q·Total. Returns 0 on an empty histogram.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, c := range s {
+		cum += c
+		if cum >= target {
+			return int64(1) << b // bucket b holds v < 2^b
+		}
+	}
+	return int64(1) << (HistBuckets - 1)
+}
+
+// String renders the snapshot as approximate quantiles.
+func (s HistSnapshot) String() string {
+	total := s.Total()
+	if total == 0 {
+		return "-"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d p50<%d p95<%d p99<%d",
+		total, s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99))
+	return sb.String()
 }
 
 // ObservePause records a mutator pause, updating both the total and the max.
@@ -60,6 +160,16 @@ type Snapshot struct {
 	CoopMarks       int64
 	MaxPauseNs      int64
 	TotalPauseNs    int64
+
+	FabricSent        int64
+	FabricDelivered   int64
+	FabricBatches     int64
+	FabricDropped     int64
+	FabricRetries     int64
+	FabricDuplicates  int64
+	FabricAcksDropped int64
+	FabricExpunged    int64
+	FabricLatency     HistSnapshot
 }
 
 // Snapshot copies the current counter values.
@@ -82,16 +192,34 @@ func (c *Counters) Snapshot() Snapshot {
 		CoopMarks:       c.CoopMarks.Load(),
 		MaxPauseNs:      c.MaxPauseNs.Load(),
 		TotalPauseNs:    c.TotalPauseNs.Load(),
+
+		FabricSent:        c.FabricSent.Load(),
+		FabricDelivered:   c.FabricDelivered.Load(),
+		FabricBatches:     c.FabricBatches.Load(),
+		FabricDropped:     c.FabricDropped.Load(),
+		FabricRetries:     c.FabricRetries.Load(),
+		FabricDuplicates:  c.FabricDuplicates.Load(),
+		FabricAcksDropped: c.FabricAcksDropped.Load(),
+		FabricExpunged:    c.FabricExpunged.Load(),
+		FabricLatency:     c.FabricLatency.Snapshot(),
 	}
 }
 
-// String renders the snapshot as a one-line summary.
+// String renders the snapshot as a one-line summary. Fabric traffic is
+// appended only when a fabric carried messages.
 func (s Snapshot) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"tasks=%d (red=%d mark=%d ret=%d) msgs(remote=%d local=%d) rewrites=%d alloc=%d reclaimed=%d cycles=%d expunged=%d deadlocked=%d",
 		s.TasksExecuted, s.ReductionTasks, s.MarkTasks, s.ReturnTasks,
 		s.RemoteMessages, s.LocalMessages, s.Rewrites, s.Allocations,
 		s.Reclaimed, s.Cycles, s.Expunged, s.DeadlockedFound)
+	if s.FabricSent > 0 {
+		out += fmt.Sprintf(
+			" fabric(sent=%d delivered=%d batches=%d dropped=%d retried=%d dup=%d lat[µs]=%s)",
+			s.FabricSent, s.FabricDelivered, s.FabricBatches, s.FabricDropped,
+			s.FabricRetries, s.FabricDuplicates, s.FabricLatency)
+	}
+	return out
 }
 
 // Sub returns s - o field-wise, for measuring an interval.
@@ -114,5 +242,15 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		CoopMarks:       s.CoopMarks - o.CoopMarks,
 		MaxPauseNs:      s.MaxPauseNs,
 		TotalPauseNs:    s.TotalPauseNs - o.TotalPauseNs,
+
+		FabricSent:        s.FabricSent - o.FabricSent,
+		FabricDelivered:   s.FabricDelivered - o.FabricDelivered,
+		FabricBatches:     s.FabricBatches - o.FabricBatches,
+		FabricDropped:     s.FabricDropped - o.FabricDropped,
+		FabricRetries:     s.FabricRetries - o.FabricRetries,
+		FabricDuplicates:  s.FabricDuplicates - o.FabricDuplicates,
+		FabricAcksDropped: s.FabricAcksDropped - o.FabricAcksDropped,
+		FabricExpunged:    s.FabricExpunged - o.FabricExpunged,
+		FabricLatency:     s.FabricLatency.Sub(o.FabricLatency),
 	}
 }

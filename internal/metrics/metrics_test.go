@@ -98,3 +98,121 @@ func TestObservePauseMaxQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Bucket b = bits.Len64(v) holds values with v < 2^b.
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(4)
+	h.Observe(1 << 40) // beyond the top bucket: clamped into the last
+	s := h.Snapshot()
+	if s.Total() != 6 {
+		t.Fatalf("total = %d, want 6", s.Total())
+	}
+	if s[0] != 1 { // 0
+		t.Fatalf("bucket 0 = %d, want 1", s[0])
+	}
+	if s[1] != 1 { // 1
+		t.Fatalf("bucket 1 = %d, want 1", s[1])
+	}
+	if s[2] != 2 { // 2 and 3
+		t.Fatalf("bucket 2 = %d, want 2", s[2])
+	}
+	if s[3] != 1 { // 4
+		t.Fatalf("bucket 3 = %d, want 1", s[3])
+	}
+	if s[HistBuckets-1] != 1 {
+		t.Fatalf("top bucket = %d, want 1 (clamped)", s[HistBuckets-1])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	// Quantiles report the bucket's exclusive upper bound: 1 → "< 2".
+	if q := s.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %d, want 2", q)
+	}
+	// p99 falls in the bucket holding 1000 (2^9 < 1000 <= 2^10).
+	if q := s.Quantile(0.99); q != 1024 {
+		t.Fatalf("p99 = %d, want 1024", q)
+	}
+	var empty HistSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+	if got := empty.String(); got != "-" {
+		t.Fatalf("empty String = %q, want -", got)
+	}
+	if got := s.String(); !strings.Contains(got, "n=100") || !strings.Contains(got, "p50<2") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Observe(5)
+	before := h.Snapshot()
+	h.Observe(5)
+	h.Observe(700)
+	d := h.Snapshot().Sub(before)
+	if d.Total() != 2 {
+		t.Fatalf("delta total = %d, want 2", d.Total())
+	}
+}
+
+func TestSnapshotFabricFields(t *testing.T) {
+	var c Counters
+	c.FabricSent.Add(9)
+	c.FabricDelivered.Add(7)
+	c.FabricBatches.Add(3)
+	c.FabricDropped.Add(2)
+	c.FabricRetries.Add(2)
+	c.FabricDuplicates.Add(1)
+	c.FabricAcksDropped.Add(1)
+	c.FabricExpunged.Add(2)
+	c.FabricLatency.Observe(4)
+	before := c.Snapshot()
+	if before.FabricSent != 9 || before.FabricDelivered != 7 || before.FabricBatches != 3 ||
+		before.FabricDropped != 2 || before.FabricRetries != 2 || before.FabricDuplicates != 1 ||
+		before.FabricAcksDropped != 1 || before.FabricExpunged != 2 {
+		t.Fatalf("snapshot = %+v", before)
+	}
+	if before.FabricLatency.Total() != 1 {
+		t.Fatalf("latency total = %d, want 1", before.FabricLatency.Total())
+	}
+	c.FabricSent.Add(11)
+	c.FabricLatency.Observe(4)
+	c.FabricLatency.Observe(4)
+	diff := c.Snapshot().Sub(before)
+	if diff.FabricSent != 11 || diff.FabricDelivered != 0 {
+		t.Fatalf("diff = %+v", diff)
+	}
+	if diff.FabricLatency.Total() != 2 {
+		t.Fatalf("latency delta = %d, want 2", diff.FabricLatency.Total())
+	}
+	s := c.Snapshot().String()
+	for _, want := range []string{"fabric(", "sent=20", "delivered=7", "dropped=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSnapshotStringOmitsFabricWhenUnused(t *testing.T) {
+	var c Counters
+	c.TasksExecuted.Add(1)
+	if s := c.Snapshot().String(); strings.Contains(s, "fabric(") {
+		t.Fatalf("String() = %q should omit fabric section when sent=0", s)
+	}
+}

@@ -12,8 +12,12 @@
 //     "real" distributed execution used by examples and throughput
 //     benchmarks.
 //
-// Task spawns crossing a partition boundary are counted as remote messages;
-// this is the simulation stand-in for the paper's inter-PE communication.
+// Task spawns crossing a partition boundary are remote messages. Without a
+// fabric they are pushed straight into the destination pool and merely
+// counted; with Config.Fabric set they transit a simulated inter-PE network
+// (internal/fabric) with batching, latency, loss, and at-least-once
+// redelivery. In-transit tasks still count toward the inflight total, so
+// quiescence detection and M_T's taskpool snapshot remain sound.
 package sched
 
 import (
@@ -22,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dgr/internal/fabric"
 	"dgr/internal/graph"
 	"dgr/internal/metrics"
 	"dgr/internal/task"
@@ -70,6 +75,12 @@ type Config struct {
 	PartOf func(graph.VertexID) int
 	// Counters receives statistics; optional.
 	Counters *metrics.Counters
+	// Fabric, when non-nil, carries every cross-partition spawn through a
+	// simulated inter-PE network. Local spawns bypass it. The machine owns
+	// its lifecycle: Step pumps it (deterministic mode), Start starts its
+	// pump and Stop closes it (parallel mode). The fabric's mode and seed
+	// must match the machine's.
+	Fabric *fabric.Fabric
 }
 
 // Machine is the PE ensemble.
@@ -77,6 +88,7 @@ type Machine struct {
 	cfg     Config
 	pools   []*task.Pool
 	handler Handler
+	fab     *fabric.Fabric
 
 	// inflight counts queued + currently executing tasks. It is atomic so
 	// the Spawn/execute hot path does not serialize the PEs; mu/cond are
@@ -116,6 +128,12 @@ func New(cfg Config) *Machine {
 	for i := range m.pools {
 		m.pools[i] = task.NewPool()
 	}
+	if cfg.Fabric != nil {
+		m.fab = cfg.Fabric
+		m.fab.SetDeliver(func(pe int, ts []task.Task) {
+			m.pools[pe].PushBatch(ts)
+		})
+	}
 	return m
 }
 
@@ -142,19 +160,48 @@ func (m *Machine) PartOf(id graph.VertexID) int {
 	return p
 }
 
+// hostPE is the conventional origin of external spawns (the initial root
+// demand, the collector's root marks): the partition hosting the root.
+const hostPE = 0
+
+// originOf infers the PE a spawn originates on. A task with a source vertex
+// is spawned by the PE executing at that vertex (handlers set Src to a
+// vertex on the executing partition). A sourceless Reduce is a PE's local
+// self-continuation for its own destination. Every other sourceless spawn
+// comes from outside the ensemble — the evaluator's root demand, the
+// collector's root marks — and is attributed to the host PE.
+func (m *Machine) originOf(t task.Task) int {
+	if t.Src != graph.NilVertex {
+		return m.PartOf(t.Src)
+	}
+	if t.Kind == task.Reduce {
+		return m.PartOf(t.Dst)
+	}
+	return hostPE
+}
+
 // Spawn enqueues a task on the PE owning its destination. It corresponds to
 // the paper's "spawn f(x)": no waiting is done for the completion of the
-// task.
+// task. A spawn whose origin differs from its destination partition is a
+// remote message; with a fabric wired in it transits the network (and is
+// counted inflight while in transit), otherwise it lands directly in the
+// destination pool.
 func (m *Machine) Spawn(t task.Task) {
 	dst := m.PartOf(t.Dst)
+	origin := m.originOf(t)
+	remote := origin != dst
 	if c := m.cfg.Counters; c != nil {
-		if t.Src != graph.NilVertex && m.PartOf(t.Src) != dst {
+		if remote {
 			c.RemoteMessages.Add(1)
 		} else {
 			c.LocalMessages.Add(1)
 		}
 	}
 	m.inflight.Add(1)
+	if remote && m.fab != nil {
+		m.fab.Enqueue(origin, dst, t)
+		return
+	}
 	m.pools[dst].Push(t)
 }
 
@@ -205,6 +252,42 @@ func (m *Machine) Expunge(pe int, pred func(task.Task) bool) int {
 	return n
 }
 
+// EachInTransit calls fn for every task currently inside the fabric
+// (buffered or on the wire). It is the in-transit complement to
+// Pool.Each for M_T's taskpool snapshot; without a fabric it is a no-op.
+func (m *Machine) EachInTransit(fn func(task.Task)) {
+	if m.fab != nil {
+		m.fab.Each(fn)
+	}
+}
+
+// ExpungeInTransit removes in-transit tasks matching pred from the fabric,
+// keeping inflight accounting consistent exactly like Expunge does for
+// pooled tasks. It returns the number removed.
+func (m *Machine) ExpungeInTransit(pred func(task.Task) bool) int {
+	if m.fab == nil {
+		return 0
+	}
+	n := m.fab.Expunge(pred)
+	if n > 0 && m.inflight.Add(int64(-n)) == 0 {
+		m.mu.Lock()
+		m.mu.Unlock() // pairs with WaitQuiescent: no lost wakeup
+		m.cond.Broadcast()
+	}
+	return n
+}
+
+// InTransit returns the number of tasks in fabric custody (0 without one).
+func (m *Machine) InTransit() int64 {
+	if m.fab == nil {
+		return 0
+	}
+	return m.fab.Pending()
+}
+
+// Fabric returns the wired-in fabric, or nil.
+func (m *Machine) Fabric() *fabric.Fabric { return m.fab }
+
 // CurrentTasks returns a copy of the tasks currently being executed by the
 // PEs (empty in deterministic mode when called between steps).
 func (m *Machine) CurrentTasks() []task.Task {
@@ -218,34 +301,45 @@ func (m *Machine) CurrentTasks() []task.Task {
 }
 
 // Step executes one task in deterministic mode, picking a pseudo-random
-// non-empty PE. It reports whether a task was executed (false means the
-// machine is quiescent).
+// non-empty PE. One step is one tick of the fabric's virtual clock, so
+// flushes, deliveries, and retransmissions interleave with task execution
+// under the same seed; when every pool is empty but messages are in
+// transit, the clock fast-forwards to the next fabric event. Step reports
+// whether progress was made (false means the machine is quiescent).
 func (m *Machine) Step() bool {
 	if m.cfg.Mode != Deterministic {
 		panic("sched: Step requires Deterministic mode")
 	}
-	nonEmpty := make([]int, 0, len(m.pools))
-	for i, p := range m.pools {
-		if p.Len() > 0 {
-			nonEmpty = append(nonEmpty, i)
+	if m.fab != nil {
+		m.fab.Tick()
+	}
+	for {
+		nonEmpty := make([]int, 0, len(m.pools))
+		for i, p := range m.pools {
+			if p.Len() > 0 {
+				nonEmpty = append(nonEmpty, i)
+			}
 		}
+		if len(nonEmpty) == 0 {
+			if m.fab == nil || !m.fab.Advance() {
+				return false
+			}
+			continue
+		}
+		pe := nonEmpty[m.rng.Intn(len(nonEmpty))]
+		var t task.Task
+		var ok bool
+		if m.cfg.Adversarial {
+			t, ok = m.pools[pe].TryPopRandom(m.rng)
+		} else {
+			t, ok = m.pools[pe].TryPop()
+		}
+		if !ok {
+			return false
+		}
+		m.execute(pe, t)
+		return true
 	}
-	if len(nonEmpty) == 0 {
-		return false
-	}
-	pe := nonEmpty[m.rng.Intn(len(nonEmpty))]
-	var t task.Task
-	var ok bool
-	if m.cfg.Adversarial {
-		t, ok = m.pools[pe].TryPopRandom(m.rng)
-	} else {
-		t, ok = m.pools[pe].TryPop()
-	}
-	if !ok {
-		return false
-	}
-	m.execute(pe, t)
-	return true
 }
 
 // RunUntil steps the deterministic machine until pred returns true or the
@@ -290,6 +384,9 @@ func (m *Machine) Start() {
 	m.stop = make(chan struct{})
 	m.mu.Unlock()
 
+	if m.fab != nil {
+		m.fab.Start()
+	}
 	for i := range m.pools {
 		m.wg.Add(1)
 		go m.peLoop(i)
@@ -318,6 +415,13 @@ func (m *Machine) Stop() {
 	}
 	m.running = false
 	m.mu.Unlock()
+	if m.fab != nil {
+		// Push any buffered messages through before closing so queued work
+		// reaches the pools, then stop the pump; late timer arrivals still
+		// deliver, and post-close Enqueues bypass the network entirely.
+		m.fab.Flush()
+		m.fab.Close()
+	}
 	for _, p := range m.pools {
 		p.Close()
 	}

@@ -4,7 +4,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"dgr/internal/fabric"
 	"dgr/internal/graph"
 	"dgr/internal/metrics"
 	"dgr/internal/task"
@@ -253,4 +255,162 @@ func TestCurrentTasksParallel(t *testing.T) {
 		t.Fatalf("CurrentTasks after quiescence = %v", got)
 	}
 	m.Stop()
+}
+
+func TestSpawnOriginClassification(t *testing.T) {
+	// Regression: sourceless spawns used to be counted local regardless of
+	// where they landed. External spawns (root demands, collector marks)
+	// originate on the host PE and are remote when the destination partition
+	// differs; a sourceless Reduce stays a local self-continuation.
+	var c metrics.Counters
+	m := New(Config{PEs: 2, Mode: Deterministic, Seed: 1, PartOf: partMod(2), Counters: &c})
+	m.SetHandler(HandlerFunc(func(task.Task) {}))
+
+	// External demand landing on PE 1: remote from the host (PE 0).
+	m.Spawn(task.Task{Kind: task.Demand, Dst: 1, Req: graph.ReqVital})
+	// External mark landing on PE 1: remote from the host.
+	m.Spawn(task.Task{Kind: task.Mark, Dst: 3})
+	// External demand landing on PE 0: local to the host.
+	m.Spawn(task.Task{Kind: task.Demand, Dst: 2, Req: graph.ReqVital})
+	// Sourceless Reduce on PE 1: local self-continuation.
+	m.Spawn(task.Task{Kind: task.Reduce, Dst: 5})
+	m.RunToQuiescence(0)
+
+	s := c.Snapshot()
+	if s.RemoteMessages != 2 || s.LocalMessages != 2 {
+		t.Fatalf("remote=%d local=%d, want 2/2", s.RemoteMessages, s.LocalMessages)
+	}
+}
+
+func TestFabricDeterministicExactlyOnce(t *testing.T) {
+	var c metrics.Counters
+	fab := fabric.New(fabric.Config{
+		PEs: 4, Seed: 11, BatchSize: 4, FlushEvery: 10 * time.Microsecond,
+		LinkLatency: 5 * time.Microsecond, Jitter: 3 * time.Microsecond,
+		DropRate: 0.3, ReorderRate: 0.1, Counters: &c,
+	})
+	m := New(Config{PEs: 4, Mode: Deterministic, Seed: 11, PartOf: partMod(4),
+		Counters: &c, Fabric: fab})
+	var executed atomic.Int64
+	m.SetHandler(HandlerFunc(func(tk task.Task) {
+		executed.Add(1)
+		// Fan out one remote hop per task until id 400.
+		if tk.Dst < 400 {
+			m.Spawn(task.Task{Kind: task.Demand, Src: tk.Dst, Dst: tk.Dst + 1, Req: graph.ReqVital})
+		}
+	}))
+	m.Spawn(task.Task{Kind: task.Demand, Src: 4, Dst: 1, Req: graph.ReqVital})
+	_, quiesced := m.RunToQuiescence(0)
+	if !quiesced {
+		t.Fatal("did not quiesce")
+	}
+	// Every spawned task executes exactly once despite 30% loss.
+	if got := executed.Load(); got != 400 {
+		t.Fatalf("executed %d tasks, want 400", got)
+	}
+	s := c.Snapshot()
+	if s.FabricSent != s.FabricDelivered {
+		t.Fatalf("conservation: sent=%d delivered=%d", s.FabricSent, s.FabricDelivered)
+	}
+	if s.FabricSent != s.RemoteMessages {
+		t.Fatalf("every remote message rides the fabric: fabric=%d remote=%d",
+			s.FabricSent, s.RemoteMessages)
+	}
+	if s.FabricDropped == 0 {
+		t.Fatal("no loss injected at 30% drop")
+	}
+	if m.InTransit() != 0 {
+		t.Fatalf("in-transit after quiescence: %d", m.InTransit())
+	}
+}
+
+func TestFabricDeterministicReproducible(t *testing.T) {
+	run := func() (int64, metrics.Snapshot) {
+		var c metrics.Counters
+		fab := fabric.New(fabric.Config{
+			PEs: 3, Seed: 21, BatchSize: 3, FlushEvery: 8 * time.Microsecond,
+			LinkLatency: 4 * time.Microsecond, Jitter: 6 * time.Microsecond,
+			DropRate: 0.2, ReorderRate: 0.2, Counters: &c,
+		})
+		m := New(Config{PEs: 3, Mode: Deterministic, Seed: 21, PartOf: partMod(3),
+			Counters: &c, Fabric: fab})
+		var sum atomic.Int64
+		m.SetHandler(HandlerFunc(func(tk task.Task) {
+			sum.Add(int64(tk.Dst))
+			if tk.Dst < 200 {
+				m.Spawn(task.Task{Kind: task.Demand, Src: tk.Dst, Dst: tk.Dst + 2, Req: graph.ReqVital})
+			}
+		}))
+		m.Spawn(task.Task{Kind: task.Demand, Src: 3, Dst: 1, Req: graph.ReqVital})
+		m.Spawn(task.Task{Kind: task.Demand, Src: 3, Dst: 2, Req: graph.ReqVital})
+		m.RunToQuiescence(0)
+		return sum.Load(), c.Snapshot()
+	}
+	sumA, statsA := run()
+	sumB, statsB := run()
+	if sumA != sumB || statsA != statsB {
+		t.Fatalf("same seed diverged: sums %d vs %d\n a=%+v\n b=%+v", sumA, sumB, statsA, statsB)
+	}
+	if statsA.FabricDropped == 0 || statsA.FabricRetries == 0 {
+		t.Fatalf("loss schedule missing: %+v", statsA)
+	}
+}
+
+func TestFabricParallelDelivery(t *testing.T) {
+	var c metrics.Counters
+	fab := fabric.New(fabric.Config{
+		PEs: 4, Parallel: true, Seed: 5, BatchSize: 8,
+		FlushEvery: 100 * time.Microsecond, LinkLatency: 30 * time.Microsecond,
+		DropRate: 0.05, Counters: &c,
+	})
+	m := New(Config{PEs: 4, Mode: Parallel, PartOf: partMod(4), Counters: &c, Fabric: fab})
+	var count atomic.Int64
+	m.SetHandler(HandlerFunc(func(tk task.Task) {
+		count.Add(1)
+		if tk.Dst < 1000 {
+			m.Spawn(task.Task{Kind: task.Demand, Src: tk.Dst, Dst: tk.Dst + 1, Req: graph.ReqVital})
+		}
+	}))
+	m.Start()
+	m.Spawn(task.Task{Kind: task.Demand, Src: 4, Dst: 1, Req: graph.ReqVital})
+	m.WaitQuiescent()
+	m.Stop()
+	if got := count.Load(); got != 1000 {
+		t.Fatalf("executed %d tasks, want 1000", got)
+	}
+	s := c.Snapshot()
+	if s.FabricSent != s.FabricDelivered {
+		t.Fatalf("conservation: sent=%d delivered=%d", s.FabricSent, s.FabricDelivered)
+	}
+}
+
+func TestFabricExpungeInTransit(t *testing.T) {
+	fab := fabric.New(fabric.Config{
+		PEs: 2, Seed: 1, BatchSize: 100, FlushEvery: time.Hour,
+	})
+	m := New(Config{PEs: 2, Mode: Deterministic, Seed: 1, PartOf: partMod(2), Fabric: fab})
+	m.SetHandler(HandlerFunc(func(task.Task) {}))
+	// Remote demands park in the outbox (huge batch + deadline).
+	for i := 0; i < 6; i++ {
+		m.Spawn(task.Task{Kind: task.Demand, Src: 2, Dst: graph.VertexID(2*i + 1), Req: graph.ReqVital})
+	}
+	if m.InTransit() != 6 || m.Inflight() != 6 {
+		t.Fatalf("in-transit=%d inflight=%d, want 6/6", m.InTransit(), m.Inflight())
+	}
+	var seen int
+	m.EachInTransit(func(task.Task) { seen++ })
+	if seen != 6 {
+		t.Fatalf("EachInTransit saw %d, want 6", seen)
+	}
+	n := m.ExpungeInTransit(func(tk task.Task) bool { return tk.Dst <= 5 })
+	if n != 3 {
+		t.Fatalf("expunged %d, want 3", n)
+	}
+	if m.Inflight() != 3 {
+		t.Fatalf("inflight after expunge = %d, want 3", m.Inflight())
+	}
+	_, quiesced := m.RunToQuiescence(0)
+	if !quiesced || m.Inflight() != 0 {
+		t.Fatalf("quiesced=%v inflight=%d", quiesced, m.Inflight())
+	}
 }

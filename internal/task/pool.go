@@ -37,6 +37,28 @@ func (p *Pool) Push(t Task) {
 	p.cond.Signal()
 }
 
+// PushBatch enqueues a batch of tasks under one lock acquisition and one
+// wakeup — the amortization the inter-PE fabric's coalescing buys: a link
+// delivers a whole batch into the destination pool at the cost of a single
+// message.
+func (p *Pool) PushBatch(ts []Task) {
+	if len(ts) == 0 {
+		return
+	}
+	p.mu.Lock()
+	for _, t := range ts {
+		t.Band = t.ComputeBand()
+		p.bands[t.Band] = append(p.bands[t.Band], t)
+	}
+	p.n += len(ts)
+	p.mu.Unlock()
+	if len(ts) == 1 {
+		p.cond.Signal()
+	} else {
+		p.cond.Broadcast()
+	}
+}
+
 // Len returns the number of queued tasks.
 func (p *Pool) Len() int {
 	p.mu.Lock()
@@ -119,8 +141,9 @@ func (p *Pool) Kick() { p.cond.Broadcast() }
 
 // Each calls fn for every queued task under the pool lock. fn must not call
 // back into the pool. This is the taskpool snapshot M_T uses to build
-// taskroot_i: a task is atomically either in some pool or not yet spawned,
-// so no task is "in transit" and unobservable.
+// taskroot_i. When an inter-PE fabric is wired in, a spawned task may also
+// be in transit between pools, so M_T combines this with the fabric's own
+// Each to keep every live task observable.
 func (p *Pool) Each(fn func(Task)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -279,3 +279,54 @@ func TestPoolQuickBandOrder(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPoolPushBatch(t *testing.T) {
+	p := NewPool()
+	p.PushBatch([]Task{
+		{Kind: Demand, Dst: 1, Req: graph.ReqNone},
+		{Kind: Mark, Dst: 2},
+		{Kind: Demand, Dst: 3, Req: graph.ReqVital},
+	})
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+	// Band order must hold across a batch push: marking first, then vital,
+	// then the reserve-band demand.
+	wantDst := []graph.VertexID{2, 3, 1}
+	for i, want := range wantDst {
+		tk, ok := p.TryPop()
+		if !ok || tk.Dst != want {
+			t.Fatalf("pop %d = %+v ok=%v, want dst %d", i, tk, ok, want)
+		}
+	}
+	p.PushBatch(nil)
+	if p.Len() != 0 {
+		t.Fatalf("empty batch changed Len to %d", p.Len())
+	}
+}
+
+func TestPoolPushBatchWakesWaiters(t *testing.T) {
+	p := NewPool()
+	const waiters = 4
+	var wg sync.WaitGroup
+	got := make(chan Task, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if tk, ok := p.PopWait(); ok {
+				got <- tk
+			}
+		}()
+	}
+	batch := make([]Task, waiters)
+	for i := range batch {
+		batch[i] = Task{Kind: Demand, Dst: graph.VertexID(i + 1), Req: graph.ReqVital}
+	}
+	p.PushBatch(batch)
+	wg.Wait()
+	close(got)
+	if len(got) != waiters {
+		t.Fatalf("only %d of %d waiters woke", len(got), waiters)
+	}
+}

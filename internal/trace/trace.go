@@ -4,6 +4,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -14,11 +15,11 @@ import (
 
 // Event is one recorded occurrence.
 type Event struct {
-	Seq  uint64
-	Kind string
-	Src  graph.VertexID
-	Dst  graph.VertexID
-	Note string
+	Seq  uint64         `json:"seq"`
+	Kind string         `json:"kind"`
+	Src  graph.VertexID `json:"src"`
+	Dst  graph.VertexID `json:"dst"`
+	Note string         `json:"note,omitempty"`
 }
 
 // String renders the event.
@@ -69,6 +70,19 @@ func (t *Tracer) Events() []Event {
 		out = append(out, t.ring[i%n])
 	}
 	return out
+}
+
+// WriteJSONL writes the retained events as JSON Lines — one event object
+// per line, in sequence order — so message timelines (e.g. the fabric's
+// fab.* events) are machine-readable.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Len returns the total number of events ever recorded.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -69,5 +70,30 @@ func TestWriteDOT(t *testing.T) {
 	// Free vertices hidden by default.
 	if strings.Contains(out, "free") {
 		t.Error("free vertices should be hidden")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record("fab.flush", 0, 1, "seq=1 n=3")
+	tr.Record("fab.deliver", 0, 1, "")
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != "fab.flush" || e.Src != 0 || e.Dst != 1 || e.Note != "seq=1 n=3" {
+		t.Fatalf("round-trip = %+v", e)
+	}
+	// The note field is omitted entirely when empty.
+	if strings.Contains(lines[1], "note") {
+		t.Fatalf("empty note not omitted: %s", lines[1])
 	}
 }

@@ -124,3 +124,80 @@ func TestNoGoroutineLeaks(t *testing.T) {
 	}
 	t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
 }
+
+// TestFabricAdversarialStress compares a direct-dispatch machine against a
+// fabric machine under 5% loss, both driven by the adversarial
+// deterministic scheduler (uniformly random pops). The lossy, batching,
+// reordering network must be semantically invisible: identical evaluation
+// results, and the collector must converge to the same live heap and
+// reclaim the same amount of garbage.
+func TestFabricAdversarialStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	type outcome struct {
+		val       int64
+		reclaimed int64
+		live      int
+	}
+	run := func(name string, fabric bool) outcome {
+		opts := Options{PEs: 4, Seed: 77, Adversarial: true, Capacity: 1 << 16}
+		if fabric {
+			opts.Fabric = true
+			opts.BatchSize = 8
+			opts.FlushEvery = 20 * time.Microsecond
+			opts.LinkLatency = 5 * time.Microsecond
+			opts.Jitter = 3 * time.Microsecond
+			opts.DropRate = 0.05
+			opts.ReorderRate = 0.10
+		}
+		m := New(opts)
+		defer m.Close()
+		p := workload.Programs[name]
+		v, err := m.Eval(p.Src)
+		if err != nil {
+			t.Fatalf("%s (fabric=%v): %v", name, fabric, err)
+		}
+		if v.Int != p.Want {
+			t.Fatalf("%s (fabric=%v) = %v, want %d", name, fabric, v, p.Want)
+		}
+		// Collect to fixpoint so both machines see the same final heap.
+		for i := 0; i < 50; i++ {
+			if rep := m.RunGC(); rep.Completed && rep.Reclaimed == 0 {
+				break
+			}
+		}
+		s := m.Stats()
+		if fabric {
+			if s.FabricSent == 0 {
+				t.Fatalf("%s: adversarial fabric run produced no traffic", name)
+			}
+			if s.FabricSent != s.FabricDelivered+s.FabricExpunged {
+				t.Fatalf("%s: fabric lost tasks: sent=%d delivered=%d expunged=%d",
+					name, s.FabricSent, s.FabricDelivered, s.FabricExpunged)
+			}
+		}
+		return outcome{
+			val:       v.Int,
+			reclaimed: s.Reclaimed,
+			live:      m.TotalVertices() - m.FreeVertices(),
+		}
+	}
+	// These three spread allocation across partitions, so every run has
+	// genuine cross-PE traffic (churn/fac/sumsquares stay on one PE).
+	for _, name := range []string{"fib", "tak", "parfib"} {
+		direct := run(name, false)
+		lossy := run(name, true)
+		if direct.val != lossy.val {
+			t.Fatalf("%s: direct=%d fabric=%d", name, direct.val, lossy.val)
+		}
+		if direct.reclaimed == 0 || lossy.reclaimed == 0 {
+			t.Fatalf("%s: reclamation missing (direct=%d fabric=%d)",
+				name, direct.reclaimed, lossy.reclaimed)
+		}
+		if direct.live != lossy.live || direct.reclaimed != lossy.reclaimed {
+			t.Fatalf("%s: GC diverged: direct live=%d reclaimed=%d, fabric live=%d reclaimed=%d",
+				name, direct.live, direct.reclaimed, lossy.live, lossy.reclaimed)
+		}
+	}
+}
