@@ -22,6 +22,7 @@ import (
 	"io"
 	"time"
 
+	"dgr/internal/check"
 	"dgr/internal/core"
 	"dgr/internal/fabric"
 	"dgr/internal/graph"
@@ -29,6 +30,7 @@ import (
 	"dgr/internal/metrics"
 	"dgr/internal/reduce"
 	"dgr/internal/sched"
+	"dgr/internal/task"
 	"dgr/internal/trace"
 )
 
@@ -112,6 +114,26 @@ type Options struct {
 	// TraceCapacity, when positive, retains the last N machine events
 	// (fabric message lifecycle among them) for WriteTraceJSONL.
 	TraceCapacity int
+
+	// Check enables the always-on invariant checker: marking invariants
+	// (Figure 4-2), inflight conservation, band consistency, and mt-cnt
+	// underflow are asserted at sample points throughout the run. Inspect
+	// results with CheckErr / CheckViolations.
+	Check bool
+	// CheckEvery samples every k-th task execution (default 256; only
+	// meaningful with Check). Cycle-end and quiescence sample points always
+	// run when Check is on.
+	CheckEvery int
+	// RecordSchedule logs the execution schedule — (pe, task) order plus
+	// collector cycle events — for deterministic replay. Retrieve with
+	// ScheduleEvents / WriteScheduleJSONL and re-drive with ReplaySchedule.
+	RecordSchedule bool
+	// FaultSkipMark, when n > 0, silently drops a deterministic 1/n of
+	// child mark tasks (test-only): it manufactures a marking-invariant
+	// violation for validating the checker and the replay pipeline. The
+	// selection hashes (parent, child, epoch), so a replayed schedule
+	// reproduces the recorded run's faults exactly.
+	FaultSkipMark int64
 }
 
 func (o Options) withDefaults() Options {
@@ -138,6 +160,9 @@ func (o Options) withDefaults() Options {
 	if o.Pace <= 0 {
 		o.Pace = 100 * time.Microsecond
 	}
+	if o.Check && o.CheckEvery <= 0 {
+		o.CheckEvery = 256
+	}
 	return o
 }
 
@@ -153,6 +178,8 @@ type Machine struct {
 	counters  *metrics.Counters
 	fab       *fabric.Fabric
 	tracer    *trace.Tracer
+	checker   *check.Checker
+	recorder  *check.Recorder
 	closed    bool
 }
 
@@ -190,7 +217,13 @@ func New(opts Options) *Machine {
 			Tracer:      tracer,
 		})
 	}
-	mach := sched.New(sched.Config{
+	// The checker and recorder hook into the scheduler, but both need the
+	// machine (and marker) that sched.New builds — so the hooks close over
+	// variables assigned below, before any task can execute (deterministic
+	// machines run nothing during New; parallel machines Start last).
+	var checker *check.Checker
+	var recorder *check.Recorder
+	schedCfg := sched.Config{
 		PEs:         opts.PEs,
 		Mode:        mode,
 		Seed:        opts.Seed,
@@ -198,8 +231,28 @@ func New(opts Options) *Machine {
 		PartOf:      store.PartitionOf,
 		Counters:    counters,
 		Fabric:      fab,
-	})
+	}
+	if opts.RecordSchedule {
+		recorder = check.NewRecorder()
+		schedCfg.OnExecute = recorder.OnExecute
+	}
+	if opts.Check {
+		schedCfg.AfterExecute = func(seq uint64, pe int, t task.Task) {
+			checker.AfterExecute(seq, pe, t)
+		}
+	}
+	mach := sched.New(schedCfg)
 	marker := core.NewMarker(store, mach, counters)
+	if opts.FaultSkipMark > 0 {
+		marker.SetFaultSkipMark(opts.FaultSkipMark)
+	}
+	if opts.Check {
+		checker = &check.Checker{
+			Store: store, Marker: marker, Mach: mach,
+			Counters: counters, Tracer: tracer,
+			Every: uint64(opts.CheckEvery), Parallel: opts.Parallel,
+		}
+	}
 	mut := core.NewMutator(store, marker, mach, counters)
 	engine := reduce.New(store, mach, mut, reduce.Config{
 		SpeculativeIf: opts.SpeculativeIf,
@@ -207,7 +260,7 @@ func New(opts Options) *Machine {
 	})
 	mach.SetHandler(core.NewDispatcher(marker, engine))
 	var collector *core.Collector
-	collector = core.NewCollector(store, marker, mach, counters, core.CollectorConfig{
+	collCfg := core.CollectorConfig{
 		MTEvery: opts.MTEvery,
 		Pace:    opts.Pace,
 		OnDeadlock: func(ids []graph.VertexID) {
@@ -218,11 +271,19 @@ func New(opts Options) *Machine {
 				collector.Forget(resolved)
 			}
 		},
-	})
+	}
+	if recorder != nil {
+		collCfg.Recorder = recorder
+	}
+	if checker != nil {
+		collCfg.AfterCycle = checker.AtCycleEnd
+		collCfg.AfterPhase = checker.AtPhaseEnd
+	}
+	collector = core.NewCollector(store, marker, mach, counters, collCfg)
 	m := &Machine{
 		opts: opts, store: store, mach: mach, marker: marker,
 		mut: mut, engine: engine, collector: collector, counters: counters,
-		fab: fab, tracer: tracer,
+		fab: fab, tracer: tracer, checker: checker, recorder: recorder,
 	}
 	if opts.Parallel {
 		mach.Start()
@@ -239,6 +300,13 @@ func (m *Machine) Close() {
 	m.closed = true
 	if m.opts.Parallel {
 		m.collector.Stop()
+		if m.checker != nil {
+			// With the collector stopped and the PEs idle (if the run
+			// completed), this is the parallel machine's one stable point
+			// for the full quiescence checks; the checker skips, rather
+			// than fails, if tasks are still in flight.
+			m.checker.AtQuiescence()
+		}
 		m.mach.Stop() // also flushes and closes the fabric
 	} else if m.fab != nil {
 		m.fab.Close()
@@ -295,6 +363,21 @@ func (m *Machine) pumpDeterministic(root NodeID, ch <-chan Value) (Value, error)
 		default:
 		}
 		rep := m.collector.RunCycle()
+		// The cycle's marking pump interleaves reduction, so the value may
+		// have been delivered mid-cycle; it is authoritative over any stale
+		// deadlock record (a deadlocked subterm does not block a completed
+		// root).
+		select {
+		case v := <-ch:
+			if errs := m.engine.Errors(); len(errs) > 0 {
+				return v, fmt.Errorf("%w: %v", ErrStuck, errs[0])
+			}
+			return v, nil
+		default:
+		}
+		if m.checker != nil && m.mach.Inflight() == 0 {
+			m.checker.AtQuiescence()
+		}
 		if m.mach.Inflight() == 0 {
 			// Quiescent without a value: deadlocked, erroneous, or waiting
 			// on tasks the collector just expunged. Give the detector two
@@ -342,6 +425,17 @@ func (m *Machine) waitParallel(ch <-chan Value) (Value, error) {
 			}
 			return v, nil
 		case <-ticker.C:
+			// Prefer a delivered value: select picks ready cases at random,
+			// so without this drain a completed computation could be
+			// misreported via a stale deadlock record.
+			select {
+			case v := <-ch:
+				if errs := m.engine.Errors(); len(errs) > 0 {
+					return v, fmt.Errorf("%w: %v", ErrStuck, errs[0])
+				}
+				return v, nil
+			default:
+			}
 			if len(m.collector.Deadlocked()) > 0 && m.mach.Inflight() == 0 {
 				return Value{}, fmt.Errorf("%w: %d vertices", ErrDeadlock, len(m.collector.Deadlocked()))
 			}
@@ -433,6 +527,65 @@ func (m *Machine) WriteTraceJSONL(w io.Writer) error {
 		return errors.New("dgr: tracing disabled (set Options.TraceCapacity)")
 	}
 	return m.tracer.WriteJSONL(w)
+}
+
+// CheckViolations returns the invariant violations recorded so far. It is
+// empty unless Options.Check is on (and, one hopes, even then).
+func (m *Machine) CheckViolations() []string {
+	if m.checker == nil {
+		return nil
+	}
+	return m.checker.Violations()
+}
+
+// CheckErr summarizes recorded invariant violations as a single error, nil
+// when the run is clean or checking is off.
+func (m *Machine) CheckErr() error {
+	if m.checker == nil {
+		return nil
+	}
+	return m.checker.Err()
+}
+
+// ScheduleEvents returns the recorded schedule. It errors unless
+// Options.RecordSchedule was set.
+func (m *Machine) ScheduleEvents() ([]check.Event, error) {
+	if m.recorder == nil {
+		return nil, errors.New("dgr: schedule recording disabled (set Options.RecordSchedule)")
+	}
+	return m.recorder.Events(), nil
+}
+
+// WriteScheduleJSONL writes the recorded schedule as JSON Lines. It errors
+// unless Options.RecordSchedule was set.
+func (m *Machine) WriteScheduleJSONL(w io.Writer) error {
+	if m.recorder == nil {
+		return errors.New("dgr: schedule recording disabled (set Options.RecordSchedule)")
+	}
+	return m.recorder.WriteJSONL(w)
+}
+
+// ReplaySchedule re-drives this machine from a recorded schedule instead of
+// the scheduler's own policy: the root demand is spawned, then tasks
+// execute in exactly the logged order, with collector cycles at their
+// logged positions. The machine must be deterministic, without a fabric,
+// freshly built with the same program, seed, and PE count as the recorded
+// run. It returns the first divergence as an error; a clean replay of a
+// violating run reproduces the violation (see CheckErr) at the same step.
+func (m *Machine) ReplaySchedule(root NodeID, events []check.Event) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if m.opts.Parallel {
+		return errors.New("dgr: ReplaySchedule requires a deterministic machine")
+	}
+	if m.fab != nil {
+		return errors.New("dgr: ReplaySchedule requires a machine without a fabric (the log order subsumes delivery)")
+	}
+	m.collector.SetRoot(root)
+	m.engine.Demand(root)
+	rp := &check.Replayer{Mach: m.mach, Coll: m.collector}
+	return rp.Run(events)
 }
 
 // Deadlocked returns every vertex the collector has identified as

@@ -30,6 +30,32 @@ type CollectorConfig struct {
 	// (0 = unlimited). If the bound is hit the phase is abandoned and the
 	// report's Completed flag is false.
 	MaxStepsPerPhase int
+	// Recorder, if set, observes the collector's nondeterministic decisions
+	// (which marking cycles start with which roots, and when restructuring
+	// runs) so a schedule recorder can log them for deterministic replay.
+	Recorder CycleRecorder
+	// AfterCycle, if set, is called with each cycle's report after the cycle
+	// fully completes. In deterministic mode this is a safe point: no task
+	// is mid-execution and no marking phase is active, so an invariant
+	// checker may sweep the whole graph here.
+	AfterCycle func(CycleReport)
+	// AfterPhase, if set, is called immediately after a marking phase
+	// completes, before anything else runs. This is the only point where
+	// that context's marked closure is exact: cooperative marking stops at
+	// completion, and later phases of the same cycle legally rewire edges
+	// (most visibly for M_T, which runs before the whole M_R phase).
+	AfterPhase func(ctx graph.Ctx)
+}
+
+// CycleRecorder observes cycle-level scheduling decisions. The M_T root set
+// is a snapshot of the task pools and therefore schedule-dependent; replay
+// must reuse the recorded roots rather than recompute them.
+type CycleRecorder interface {
+	// CycleStart fires immediately before a marking phase begins, with the
+	// exact root set the phase will use.
+	CycleStart(ctx graph.Ctx, roots []Root)
+	// RestructureStart fires immediately before the restructuring phase.
+	RestructureStart(mtRan bool)
 }
 
 // CycleReport summarizes one mark/restructure cycle.
@@ -179,6 +205,9 @@ func (c *Collector) RunCycle() CycleReport {
 
 	if c.mtDue(n) {
 		roots := c.taskRoots()
+		if c.cfg.Recorder != nil {
+			c.cfg.Recorder.CycleStart(graph.CtxT, roots)
+		}
 		done := c.marker.StartCycle(graph.CtxT, roots)
 		rep.Steps += c.waitPhase(graph.CtxT, done, &rep)
 		c.mu.Lock()
@@ -188,18 +217,70 @@ func (c *Collector) RunCycle() CycleReport {
 		if c.counters != nil && rep.MTRan {
 			c.counters.MTRuns.Add(1)
 		}
+		if rep.MTRan && c.cfg.AfterPhase != nil {
+			c.cfg.AfterPhase(graph.CtxT)
+		}
 	}
 
 	if rep.Completed {
-		done := c.marker.StartCycle(graph.CtxR, []Root{{ID: root, Prior: graph.PriorVital}})
+		roots := []Root{{ID: root, Prior: graph.PriorVital}}
+		if c.cfg.Recorder != nil {
+			c.cfg.Recorder.CycleStart(graph.CtxR, roots)
+		}
+		done := c.marker.StartCycle(graph.CtxR, roots)
 		rep.Steps += c.waitPhase(graph.CtxR, done, &rep)
+		if rep.Completed && c.cfg.AfterPhase != nil {
+			c.cfg.AfterPhase(graph.CtxR)
+		}
 	}
 
 	if rep.Completed {
+		if c.cfg.Recorder != nil {
+			c.cfg.Recorder.RestructureStart(rep.MTRan)
+		}
 		c.restructure(&rep)
 		if c.counters != nil {
 			c.counters.Cycles.Add(1)
 		}
+	}
+	if c.cfg.AfterCycle != nil {
+		c.cfg.AfterCycle(rep)
+	}
+	return rep
+}
+
+// ReplayCycleStart begins a marking phase with an explicitly recorded root
+// set, for schedule replay. It performs RunCycle's per-phase bookkeeping
+// (including the M_T epoch capture — safe immediately after StartCycle,
+// since a context's epoch only advances at the next StartCycle) but leaves
+// pumping the scheduler to the replayer, which executes the phase's tasks
+// in recorded order.
+func (c *Collector) ReplayCycleStart(ctx graph.Ctx, roots []Root) {
+	c.marker.StartCycle(ctx, roots)
+	if ctx == graph.CtxT {
+		c.mu.Lock()
+		c.lastTEpoch = c.marker.Epoch(graph.CtxT)
+		c.mu.Unlock()
+		if c.counters != nil {
+			c.counters.MTRuns.Add(1)
+		}
+	}
+}
+
+// ReplayRestructure runs one restructuring phase at a recorded position in
+// the schedule. mtRan is the recorded M_T flag for the cycle; it gates
+// deadlock detection exactly as in the live run.
+func (c *Collector) ReplayRestructure(mtRan bool) CycleReport {
+	c.mu.Lock()
+	c.cycleN++
+	rep := CycleReport{Cycle: c.cycleN, MTRan: mtRan, Completed: true}
+	c.mu.Unlock()
+	c.restructure(&rep)
+	if c.counters != nil {
+		c.counters.Cycles.Add(1)
+	}
+	if c.cfg.AfterCycle != nil {
+		c.cfg.AfterCycle(rep)
 	}
 	return rep
 }

@@ -56,7 +56,20 @@ type Marker struct {
 	mach     *sched.Machine
 	counters *metrics.Counters
 	ctxs     [2]ctxState
+
+	// faultSkipN, when n > 0, silently drops a deterministic 1/n of child
+	// mark spawns (and their mt-cnt increments, so cycles still terminate).
+	// Test-only: it manufactures a marking-invariant violation — an
+	// unmarked vertex reachable from a marked parent — for validating the
+	// invariant checker. Selection hashes (parent, child, epoch) rather
+	// than counting calls, so a recorded parallel run and its serial replay
+	// skip exactly the same marks regardless of execution order.
+	faultSkipN atomic.Int64
 }
+
+// SetFaultSkipMark arms the test-only fault injector: a deterministic 1/n
+// of child marks spawned by modify are skipped entirely. n <= 0 disarms it.
+func (m *Marker) SetFaultSkipMark(n int64) { m.faultSkipN.Store(n) }
 
 // NewMarker builds a marker over the given store and machine. counters may
 // be nil.
@@ -223,12 +236,18 @@ func (m *Marker) modifyLocked(v *graph.Vertex, c graph.Ctx, epoch uint64, par gr
 
 	if c == graph.CtxR {
 		for i, a := range v.Args {
+			if m.faultDropsMark(v.ID, a, epoch) {
+				continue
+			}
 			childPrior := min(prior, v.ReqKinds[i].Priority())
 			m.spawnMark(c, v.ID, a, childPrior, epoch)
 			mc.MtCnt++
 		}
 	} else {
 		for _, a := range v.TaskChildren(nil) {
+			if m.faultDropsMark(v.ID, a, epoch) {
+				continue
+			}
 			m.spawnMark(c, v.ID, a, 0, epoch)
 			mc.MtCnt++
 		}
@@ -277,6 +296,20 @@ func (m *Marker) handleReturn(t task.Task) {
 		return
 	}
 	v.Unlock()
+}
+
+// faultDropsMark reports whether the armed fault injector claims this child
+// mark. Disarmed (the normal case) it is a single atomic load. Armed, the
+// decision is a pure function of (parent, child, epoch) — order-independent,
+// so replay reproduces the recorded run's faults exactly.
+func (m *Marker) faultDropsMark(par, child graph.VertexID, epoch uint64) bool {
+	n := m.faultSkipN.Load()
+	if n <= 0 {
+		return false
+	}
+	h := uint64(par)*0x9E3779B97F4A7C15 ^ uint64(child)*0xBF58476D1CE4E5B9 ^ epoch*0x94D049BB133111EB
+	h ^= h >> 31
+	return h%uint64(n) == 0
 }
 
 // spawnMark enqueues a mark task.

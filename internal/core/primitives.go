@@ -348,6 +348,47 @@ func (mu *Mutator) AddRequesterCoop(y, x *graph.Vertex, rk graph.ReqKind) {
 	mu.coopTaskEdgeLocked(y, x)
 }
 
+// CoopTaskSpawn cooperates with an active M_T cycle when a new reduction
+// task <src,dst> is spawned mid-cycle. M_T's root set is a snapshot of the
+// task pools taken at cycle start (§5.2), so a task spawned after the
+// snapshot is invisible to it — and the act of demanding moves the target
+// out of C(spawner) (the edge enters req-args), leaving the pending task
+// itself as the only carrier of task-reachability. Without cooperation the
+// task's endpoints can finish the cycle T-unmarked and be misreported as
+// deadlocked; because deadlock is stable (reduction axiom 4), one such
+// false positive condemns the whole run. Each endpoint that is still
+// unmarked at the current epoch is registered as an extra cycle root — the
+// same pendingRoots generalization of rootpar that add-reference uses from
+// marked parents.
+//
+// Vertices allocated at or after the cycle's epoch are skipped: the
+// deadlock criterion already exempts them (AllocEpochT < epochT), so
+// marking them buys nothing and would let a busy reduction phase keep the
+// cycle alive indefinitely.
+func (mu *Mutator) CoopTaskSpawn(src, dst graph.VertexID) {
+	if mu.noCoop || !mu.marker.Active(graph.CtxT) {
+		return
+	}
+	epoch := mu.marker.Epoch(graph.CtxT)
+	for _, id := range [2]graph.VertexID{src, dst} {
+		if id == graph.NilVertex {
+			continue
+		}
+		v := mu.store.Vertex(id)
+		if v == nil {
+			continue
+		}
+		v.Lock()
+		needsRoot := v.Kind != graph.KindFree &&
+			v.Red.AllocEpochT < epoch &&
+			v.CtxOf(graph.CtxT).StateAt(epoch) == graph.Unmarked
+		v.Unlock()
+		if needsRoot && mu.marker.AddRootDuringCycle(graph.CtxT, id, 0) {
+			mu.coopCount()
+		}
+	}
+}
+
 // Dereference implements §3.2's dereferencing of an eagerly requested
 // vertex whose value turned out to be irrelevant: the reference is removed
 // from req-args_e(x) (here: the edge is deleted outright, so y can become

@@ -31,6 +31,11 @@ type Counters struct {
 	MaxPauseNs      atomic.Int64 // longest single mutator pause (stop-the-world baseline)
 	TotalPauseNs    atomic.Int64 // cumulative mutator pause time
 
+	// Invariant checker activity (zero unless internal/check is wired in).
+	CheckRuns       atomic.Int64 // sample points where a check actually ran
+	CheckViolations atomic.Int64 // invariant violations reported
+	CheckSkipped    atomic.Int64 // sample points skipped as unsafe (unstable state)
+
 	// Inter-PE fabric traffic (zero unless a fabric is wired in).
 	FabricSent        atomic.Int64 // tasks handed to the fabric for remote delivery
 	FabricDelivered   atomic.Int64 // tasks delivered into destination pools
@@ -161,6 +166,10 @@ type Snapshot struct {
 	MaxPauseNs      int64
 	TotalPauseNs    int64
 
+	CheckRuns       int64
+	CheckViolations int64
+	CheckSkipped    int64
+
 	FabricSent        int64
 	FabricDelivered   int64
 	FabricBatches     int64
@@ -193,6 +202,10 @@ func (c *Counters) Snapshot() Snapshot {
 		MaxPauseNs:      c.MaxPauseNs.Load(),
 		TotalPauseNs:    c.TotalPauseNs.Load(),
 
+		CheckRuns:       c.CheckRuns.Load(),
+		CheckViolations: c.CheckViolations.Load(),
+		CheckSkipped:    c.CheckSkipped.Load(),
+
 		FabricSent:        c.FabricSent.Load(),
 		FabricDelivered:   c.FabricDelivered.Load(),
 		FabricBatches:     c.FabricBatches.Load(),
@@ -219,6 +232,10 @@ func (s Snapshot) String() string {
 			s.FabricSent, s.FabricDelivered, s.FabricBatches, s.FabricDropped,
 			s.FabricRetries, s.FabricDuplicates, s.FabricLatency)
 	}
+	if s.CheckRuns > 0 {
+		out += fmt.Sprintf(" check(runs=%d violations=%d skipped=%d)",
+			s.CheckRuns, s.CheckViolations, s.CheckSkipped)
+	}
 	return out
 }
 
@@ -242,6 +259,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		CoopMarks:       s.CoopMarks - o.CoopMarks,
 		MaxPauseNs:      s.MaxPauseNs,
 		TotalPauseNs:    s.TotalPauseNs - o.TotalPauseNs,
+
+		CheckRuns:       s.CheckRuns - o.CheckRuns,
+		CheckViolations: s.CheckViolations - o.CheckViolations,
+		CheckSkipped:    s.CheckSkipped - o.CheckSkipped,
 
 		FabricSent:        s.FabricSent - o.FabricSent,
 		FabricDelivered:   s.FabricDelivered - o.FabricDelivered,

@@ -158,6 +158,63 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Empty histogram: any q returns 0.
+	var empty HistSnapshot
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	var h Histogram
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(1000)
+	s := h.Snapshot()
+	// q=0 clamps the target to 1 observation: the first non-empty bucket's
+	// upper edge (0 lives in bucket 0, upper edge 2^0 = 1).
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %d, want 1", got)
+	}
+	// q=1 must reach the last observation's bucket (1000 → bucket 10, < 1024).
+	if got := s.Quantile(1); got != 1024 {
+		t.Fatalf("Quantile(1) = %d, want 1024", got)
+	}
+	// Values clamped into the top bucket are still reachable at q=1.
+	var top Histogram
+	top.Observe(1 << 62)
+	if got := top.Snapshot().Quantile(1); got != int64(1)<<(HistBuckets-1) {
+		t.Fatalf("top-bucket Quantile(1) = %d, want %d", got, int64(1)<<(HistBuckets-1))
+	}
+}
+
+func TestSnapshotCheckFields(t *testing.T) {
+	var c Counters
+	c.CheckRuns.Add(5)
+	c.CheckViolations.Add(1)
+	c.CheckSkipped.Add(2)
+	before := c.Snapshot()
+	if before.CheckRuns != 5 || before.CheckViolations != 1 || before.CheckSkipped != 2 {
+		t.Fatalf("snapshot = %+v", before)
+	}
+	c.CheckRuns.Add(3)
+	diff := c.Snapshot().Sub(before)
+	if diff.CheckRuns != 3 || diff.CheckViolations != 0 {
+		t.Fatalf("diff = %+v", diff)
+	}
+	s := c.Snapshot().String()
+	for _, want := range []string{"check(", "runs=8", "violations=1", "skipped=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	var quiet Counters
+	quiet.TasksExecuted.Add(1)
+	if s := quiet.Snapshot().String(); strings.Contains(s, "check(") {
+		t.Fatalf("String() = %q should omit check section when runs=0", s)
+	}
+}
+
 func TestHistogramSub(t *testing.T) {
 	var h Histogram
 	h.Observe(5)

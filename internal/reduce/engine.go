@@ -175,8 +175,17 @@ func (e *Engine) Demand(root graph.VertexID) <-chan Value {
 	e.mu.Lock()
 	e.rootWaiters[root] = append(e.rootWaiters[root], ch)
 	e.mu.Unlock()
-	e.mach.Spawn(task.Task{Kind: task.Demand, Src: graph.NilVertex, Dst: root, Req: graph.ReqVital})
+	e.spawn(task.Task{Kind: task.Demand, Src: graph.NilVertex, Dst: root, Req: graph.ReqVital})
 	return ch
+}
+
+// spawn enqueues a reduction task, cooperating with any active M_T cycle
+// first: a task spawned after the cycle's pool snapshot is the sole carrier
+// of task-reachability to its endpoints, so they must be registered as
+// extra marking roots or the deadlock detector can misreport them.
+func (e *Engine) spawn(t task.Task) {
+	e.mut.CoopTaskSpawn(t.Src, t.Dst)
+	e.mach.Spawn(t)
 }
 
 // Handle implements sched.Handler for reduction tasks.
@@ -249,7 +258,7 @@ func (e *Engine) reply(v *graph.Vertex, src graph.VertexID) {
 		e.notifyRoot(v)
 		return
 	}
-	e.mach.Spawn(task.Task{Kind: task.Result, Src: v.ID, Dst: src})
+	e.spawn(task.Task{Kind: task.Result, Src: v.ID, Dst: src})
 }
 
 // complete finishes v's evaluation: replies to every requester (removing
@@ -272,7 +281,7 @@ func (e *Engine) complete(v *graph.Vertex) {
 			continue
 		}
 		e.mut.CompleteRequest(src, v)
-		e.mach.Spawn(task.Task{Kind: task.Result, Src: v.ID, Dst: r.Src})
+		e.spawn(task.Task{Kind: task.Result, Src: v.ID, Dst: r.Src})
 	}
 	e.notifyRoot(v)
 }
@@ -292,7 +301,7 @@ func (e *Engine) notifyRoot(v *graph.Vertex) {
 }
 
 func (e *Engine) spawnReduce(id graph.VertexID) {
-	e.mach.Spawn(task.Task{Kind: task.Reduce, Dst: id})
+	e.spawn(task.Task{Kind: task.Reduce, Dst: id})
 }
 
 // demandKind computes the urgency with which v should request its own
@@ -337,7 +346,7 @@ func (e *Engine) demandFrom(parent *graph.Vertex, childID graph.VertexID, kind g
 	if !e.mut.SetRequestKind(parent, child, kind) {
 		return // edge vanished under a concurrent rewrite: demand is moot
 	}
-	e.mach.Spawn(task.Task{Kind: task.Demand, Src: parent.ID, Dst: childID, Req: kind})
+	e.spawn(task.Task{Kind: task.Demand, Src: parent.ID, Dst: childID, Req: kind})
 }
 
 // ---- WHNF machinery ----
@@ -465,13 +474,24 @@ type spine struct {
 	ops  []graph.VertexID
 }
 
+// maxSpineLen bounds a partial-application spine walk. A legal spine is
+// acyclic, so its length is bounded by the store's live vertex count; a
+// longer walk means reclamation corruption (e.g. a skipped mark freeing a
+// live vertex that was then re-allocated) spliced the spine into a cycle,
+// and following it would never terminate.
+const maxSpineLen = 1 << 20
+
 // collectSpine walks a WHNF partial application down its function edges
-// (through indirections), gathering operands. It returns false if the
-// structure changed underfoot or an indirection dangles.
-func (e *Engine) collectSpine(f *graph.Vertex) (spine, bool) {
-	var sp spine
+// (through indirections), gathering operands. ok is false if the
+// structure changed underfoot or an indirection dangles; cyclic is true
+// if the walk exceeded maxSpineLen, which only a corrupted (cyclic)
+// spine can do.
+func (e *Engine) collectSpine(f *graph.Vertex) (sp spine, ok, cyclic bool) {
 	cur := f
 	for {
+		if len(sp.ops) > maxSpineLen {
+			return sp, false, true
+		}
 		cur.Lock()
 		if cur.Kind != graph.KindApply {
 			cur.Unlock()
@@ -479,14 +499,14 @@ func (e *Engine) collectSpine(f *graph.Vertex) (spine, bool) {
 		}
 		if len(cur.Args) != 2 {
 			cur.Unlock()
-			return sp, false
+			return sp, false, false
 		}
 		fun, arg := cur.Args[0], cur.Args[1]
 		cur.Unlock()
 		sp.ops = append(sp.ops, arg)
 		next := e.resolveInd(fun)
 		if next == nil {
-			return sp, false
+			return sp, false, false
 		}
 		cur = next
 	}
@@ -495,7 +515,7 @@ func (e *Engine) collectSpine(f *graph.Vertex) (spine, bool) {
 		sp.ops[i], sp.ops[j] = sp.ops[j], sp.ops[i]
 	}
 	sp.head = cur
-	return sp, true
+	return sp, true, false
 }
 
 func (e *Engine) stepApply(v *graph.Vertex) {
@@ -530,7 +550,13 @@ func (e *Engine) stepApply(v *graph.Vertex) {
 	f.Unlock()
 	switch fk {
 	case graph.KindApply:
-		sp, ok := e.collectSpine(f)
+		sp, ok, cyclic := e.collectSpine(f)
+		if cyclic {
+			// Permanent, not transient: respawning would walk the same
+			// cycle every step. Surface it as an engine error instead.
+			e.fail(v, "cyclic application spine at v%d", f.ID)
+			return
+		}
 		if !ok {
 			e.spawnReduce(v.ID)
 			return

@@ -356,7 +356,7 @@ func (e *Engine) speculate(v *graph.Vertex, childID graph.VertexID) {
 		return
 	}
 	e.mut.AddRequesterCoop(child, v, graph.ReqEager)
-	e.mach.Spawn(taskDemandEager(v.ID, childID))
+	e.spawn(taskDemandEager(v.ID, childID))
 }
 
 func (e *Engine) stepSpec(v *graph.Vertex) {

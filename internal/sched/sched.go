@@ -22,6 +22,7 @@ package sched
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,24 @@ type Config struct {
 	// pump and Stop closes it (parallel mode). The fabric's mode and seed
 	// must match the machine's.
 	Fabric *fabric.Fabric
+
+	// OnSpawn, when set, observes every task entering the machine (before
+	// routing). It must be fast and must not call back into the Machine;
+	// it may run concurrently in parallel mode. The invariant checker uses
+	// it for structural task validation at the spawn boundary.
+	OnSpawn func(t task.Task)
+	// OnExecute, when set, is called at the start of every task execution
+	// with a globally ordered sequence number (0-based). In parallel mode
+	// the numbering is the linearization of execution starts; the schedule
+	// recorder uses it to log a replayable execution order. It must not
+	// call back into the Machine.
+	OnExecute func(seq uint64, pe int, t task.Task)
+	// AfterExecute, when set, is called after every task execution
+	// completes (accounting included). In deterministic mode this is a
+	// safe point: no task is mid-execution and no vertex lock is held, so
+	// the invariant checker can sweep the graph. In parallel mode other
+	// PEs may still be executing; hooks must tolerate that.
+	AfterExecute func(seq uint64, pe int, t task.Task)
 }
 
 // Machine is the PE ensemble.
@@ -101,6 +120,10 @@ type Machine struct {
 
 	rng *rand.Rand // deterministic mode only
 
+	// execSeq numbers task executions globally (the schedule recorder's
+	// ordering); assigned at execution start.
+	execSeq atomic.Uint64
+
 	// current[i] publishes PE i's in-execution task (nil when idle), so
 	// M_T's troot snapshot cannot miss a task that is neither queued nor
 	// finished. Per-PE atomics keep this off the global lock.
@@ -111,12 +134,18 @@ type Machine struct {
 }
 
 // New builds a machine. SetHandler must be called before any task executes.
+// Config.PartOf is required: every vertex must map to a partition in
+// [0, PEs); a PartOf that strays out of range masks misrouted messages, so
+// the machine panics at the first offending lookup rather than clamping.
 func New(cfg Config) *Machine {
 	if cfg.PEs < 1 {
 		cfg.PEs = 1
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = Deterministic
+	}
+	if cfg.PartOf == nil {
+		panic("sched: Config.PartOf is required")
 	}
 	m := &Machine{
 		cfg:   cfg,
@@ -151,11 +180,15 @@ func (m *Machine) Mode() Mode { return m.cfg.Mode }
 // expunging, and reprioritization).
 func (m *Machine) Pool(i int) *task.Pool { return m.pools[i] }
 
-// PartOf returns the partition owning a vertex.
+// PartOf returns the partition owning a vertex. A partition function that
+// returns an out-of-range value is broken — silently clamping it to PE 0
+// would misclassify local vs remote messages and misroute every task for
+// the offending vertex — so PartOf panics instead, naming the vertex and
+// the bad partition.
 func (m *Machine) PartOf(id graph.VertexID) int {
 	p := m.cfg.PartOf(id)
 	if p < 0 || p >= m.cfg.PEs {
-		return 0
+		panic(fmt.Sprintf("sched: PartOf(v%d) = %d, out of range [0,%d)", id, p, m.cfg.PEs))
 	}
 	return p
 }
@@ -187,6 +220,9 @@ func (m *Machine) originOf(t task.Task) int {
 // counted inflight while in transit), otherwise it lands directly in the
 // destination pool.
 func (m *Machine) Spawn(t task.Task) {
+	if fn := m.cfg.OnSpawn; fn != nil {
+		fn(t)
+	}
 	dst := m.PartOf(t.Dst)
 	origin := m.originOf(t)
 	remote := origin != dst
@@ -222,6 +258,10 @@ func (m *Machine) Inflight() int64 { return m.inflight.Load() }
 // taskpool snapshot (M_T's troot) cannot miss a task that is neither queued
 // nor finished.
 func (m *Machine) execute(pe int, t task.Task) {
+	seq := m.execSeq.Add(1) - 1
+	if fn := m.cfg.OnExecute; fn != nil {
+		fn(seq, pe, t)
+	}
 	if c := m.cfg.Counters; c != nil {
 		c.TasksExecuted.Add(1)
 		switch t.Kind {
@@ -237,7 +277,13 @@ func (m *Machine) execute(pe int, t task.Task) {
 	m.handler.Handle(t)
 	m.current[pe].Store(nil)
 	m.finish()
+	if fn := m.cfg.AfterExecute; fn != nil {
+		fn(seq, pe, t)
+	}
 }
+
+// Executions returns the number of task executions started so far.
+func (m *Machine) Executions() uint64 { return m.execSeq.Load() }
 
 // Expunge removes queued tasks matching pred from PE pe's pool, keeping
 // the in-flight accounting consistent (an expunged task will never execute,
@@ -342,6 +388,27 @@ func (m *Machine) Step() bool {
 	}
 }
 
+// ExecuteMatching pops the first task in PE pe's pool for which pred
+// returns true and executes exec through the handler with full accounting.
+// It is the schedule replayer's step primitive: instead of the seeded RNG
+// choosing (pe, task), a recorded log does. exec is executed verbatim (not
+// the pooled copy) so the handler sees exactly the recorded task even if
+// restructuring reprioritized the pooled copy in the interim. It reports
+// whether a matching task was found; deterministic mode only.
+func (m *Machine) ExecuteMatching(pe int, pred func(task.Task) bool, exec task.Task) bool {
+	if m.cfg.Mode != Deterministic {
+		panic("sched: ExecuteMatching requires Deterministic mode")
+	}
+	if pe < 0 || pe >= len(m.pools) {
+		return false
+	}
+	if _, ok := m.pools[pe].TryPopWhere(pred); !ok {
+		return false
+	}
+	m.execute(pe, exec)
+	return true
+}
+
 // RunUntil steps the deterministic machine until pred returns true or the
 // machine quiesces or max steps elapse; it returns the number of steps taken.
 // A max of 0 means no limit.
@@ -428,17 +495,22 @@ func (m *Machine) Stop() {
 	m.wg.Wait()
 }
 
-// WaitQuiescent blocks until no tasks are queued or executing. In
-// deterministic mode it simply reports current quiescence. Note that
+// WaitQuiescent blocks until no tasks are queued or executing and reports
+// whether quiescence was reached. In parallel mode it blocks (and always
+// returns true); in deterministic mode nothing executes unless the caller
+// pumps the machine, so blocking would deadlock — it instead reports the
+// actual current quiescence status without waiting. A false return means
+// tasks are still queued: use RunToQuiescence to drain them. Note that
 // quiescence is only stable if nothing else (e.g. a collector goroutine)
 // spawns new tasks.
-func (m *Machine) WaitQuiescent() {
+func (m *Machine) WaitQuiescent() bool {
 	if m.cfg.Mode == Deterministic {
-		return
+		return m.inflight.Load() == 0
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for m.inflight.Load() != 0 {
 		m.cond.Wait()
 	}
+	return true
 }

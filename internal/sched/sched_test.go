@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -185,11 +186,79 @@ func TestParallelStopIdempotent(t *testing.T) {
 	m.Stop() // second stop is a no-op
 }
 
-func TestPartOfClamped(t *testing.T) {
+func TestPartOfOutOfRangePanics(t *testing.T) {
+	// Regression: out-of-range partitions used to be silently clamped to
+	// PE 0, masking broken PartOf functions and misclassifying local vs
+	// remote messages. They must panic, naming the vertex and partition.
 	m := New(Config{PEs: 2, Mode: Deterministic, Seed: 1,
 		PartOf: func(id graph.VertexID) int { return 99 }})
-	if got := m.PartOf(5); got != 0 {
-		t.Fatalf("out-of-range partition clamped to %d, want 0", got)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-range PartOf did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "v5") || !strings.Contains(msg, "99") {
+			t.Fatalf("panic message %v does not name vertex and partition", r)
+		}
+	}()
+	m.PartOf(5)
+}
+
+func TestNewRequiresPartOf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without PartOf did not panic")
+		}
+	}()
+	New(Config{PEs: 2, Mode: Deterministic, Seed: 1})
+}
+
+func TestWaitQuiescentDeterministic(t *testing.T) {
+	// Regression: WaitQuiescent used to be a silent no-op in deterministic
+	// mode even with tasks queued; it must report actual quiescence.
+	m := New(Config{PEs: 1, Mode: Deterministic, Seed: 1, PartOf: partMod(1)})
+	m.SetHandler(HandlerFunc(func(task.Task) {}))
+	if !m.WaitQuiescent() {
+		t.Fatal("empty machine reported non-quiescent")
+	}
+	m.Spawn(task.Task{Kind: task.Reduce, Dst: 1})
+	if m.WaitQuiescent() {
+		t.Fatal("machine with a queued task reported quiescent")
+	}
+	m.RunToQuiescence(0)
+	if !m.WaitQuiescent() {
+		t.Fatal("drained machine reported non-quiescent")
+	}
+}
+
+func TestExecuteMatching(t *testing.T) {
+	m := New(Config{PEs: 2, Mode: Deterministic, Seed: 1, PartOf: partMod(2)})
+	var got []graph.VertexID
+	m.SetHandler(HandlerFunc(func(tk task.Task) { got = append(got, tk.Dst) }))
+	for i := 1; i <= 6; i++ {
+		m.Spawn(task.Task{Kind: task.Reduce, Dst: graph.VertexID(i)})
+	}
+	// Replay an explicit order: 4, 2, 6 on PE 0; 3, 1, 5 on PE 1.
+	want := []graph.VertexID{4, 2, 6, 3, 1, 5}
+	for _, id := range want {
+		tk := task.Task{Kind: task.Reduce, Dst: id}
+		pe := int(id) % 2
+		if !m.ExecuteMatching(pe, func(q task.Task) bool { return q.Dst == id }, tk) {
+			t.Fatalf("task for v%d not found on PE %d", id, pe)
+		}
+	}
+	if m.Inflight() != 0 {
+		t.Fatalf("inflight = %d after replaying all tasks", m.Inflight())
+	}
+	for i, id := range want {
+		if got[i] != id {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+	// No match → false, nothing executed.
+	if m.ExecuteMatching(0, func(task.Task) bool { return true }, task.Task{}) {
+		t.Fatal("ExecuteMatching on empty pool returned true")
 	}
 }
 

@@ -88,6 +88,25 @@ func (p *Pool) popLocked() (Task, bool) {
 	return Task{}, false
 }
 
+// TryPopWhere removes and returns the first queued task (scanning bands
+// high to low, FIFO within a band) for which pred returns true. It is the
+// schedule replayer's selection primitive: a recorded log, not the
+// scheduler's policy, decides which task runs next.
+func (p *Pool) TryPopWhere(pred func(Task) bool) (Task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for b := int(numBands) - 1; b >= 0; b-- {
+		for i, t := range p.bands[b] {
+			if pred(t) {
+				p.bands[b] = append(p.bands[b][:i], p.bands[b][i+1:]...)
+				p.n--
+				return t, true
+			}
+		}
+	}
+	return Task{}, false
+}
+
 // TryPopRandom removes a uniformly random queued task (adversarial
 // scheduling for interleaving tests). rng must not be shared across
 // goroutines.

@@ -188,6 +188,153 @@ func TestPoolReprioritize(t *testing.T) {
 	}
 }
 
+func TestPoolReprioritizeNoDoubleVisit(t *testing.T) {
+	// A Demand moved to a not-yet-processed higher band must not be
+	// re-visited in the same pass: moved tasks are appended only after the
+	// band sweep completes. Count fn invocations per task to prove it.
+	p := NewPool()
+	const n = 50
+	for i := 1; i <= n; i++ {
+		// Alternate reserve/eager/vital so moves go both up and down.
+		p.Push(Task{Kind: Demand, Dst: graph.VertexID(i), Req: graph.ReqKind(i % 3)})
+	}
+	calls := map[graph.VertexID]int{}
+	changed := p.Reprioritize(func(tk Task) graph.ReqKind {
+		calls[tk.Dst]++
+		// Invert priority: reserve→vital, vital→reserve, eager stays.
+		switch tk.Req {
+		case graph.ReqNone:
+			return graph.ReqVital
+		case graph.ReqVital:
+			return graph.ReqNone
+		default:
+			return tk.Req
+		}
+	})
+	for id, c := range calls {
+		if c != 1 {
+			t.Fatalf("fn called %d times for task %d, want exactly 1", c, id)
+		}
+	}
+	if len(calls) != n {
+		t.Fatalf("fn visited %d tasks, want %d", len(calls), n)
+	}
+	if p.Len() != n {
+		t.Fatalf("Len = %d after reprioritize, want %d", p.Len(), n)
+	}
+	// reserve↔vital both moved; eager (i%3==1) stayed.
+	wantChanged := 0
+	for i := 1; i <= n; i++ {
+		if i%3 != 1 {
+			wantChanged++
+		}
+	}
+	if changed != wantChanged {
+		t.Fatalf("changed = %d, want %d", changed, wantChanged)
+	}
+	// Every task still present exactly once, with Band matching Req.
+	seen := map[graph.VertexID]int{}
+	for {
+		tk, ok := p.TryPop()
+		if !ok {
+			break
+		}
+		seen[tk.Dst]++
+		if want := tk.ComputeBand(); tk.Band != want {
+			t.Fatalf("task %d band %d != ComputeBand %d", tk.Dst, tk.Band, want)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if seen[graph.VertexID(i)] != 1 {
+			t.Fatalf("task %d popped %d times", i, seen[graph.VertexID(i)])
+		}
+	}
+}
+
+func TestPoolReprioritizeQuickConservation(t *testing.T) {
+	// Property: Reprioritize interleaved with Expunge and adversarial
+	// TryPopRandom never double-counts, loses, or duplicates a task.
+	f := func(dsts []uint16, reqs []uint8, seed int64) bool {
+		if len(dsts) == 0 {
+			return true
+		}
+		p := NewPool()
+		// remaining[id] tracks how many tasks for id should still be in
+		// the pool; every pop decrements it, every expunge zeroes it.
+		remaining := map[graph.VertexID]int{}
+		for i, d := range dsts {
+			id := graph.VertexID(d)%97 + 1
+			p.Push(Task{Kind: Demand, Dst: id, Req: graph.ReqKind(i % 3)})
+			remaining[id]++
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for p.Len() > 0 {
+			switch rng.Intn(4) {
+			case 0: // reprioritize to a destination-derived kind
+				p.Reprioritize(func(tk Task) graph.ReqKind {
+					if len(reqs) == 0 {
+						return graph.ReqVital
+					}
+					return graph.ReqKind(reqs[int(tk.Dst)%len(reqs)] % 3)
+				})
+			case 1: // expunge one id
+				cut := graph.VertexID(rng.Intn(97) + 1)
+				n := p.Expunge(func(tk Task) bool { return tk.Dst == cut })
+				if n != remaining[cut] {
+					return false // lost or duplicated a task of this id
+				}
+				remaining[cut] = 0
+			case 2: // adversarial random pop
+				if tk, ok := p.TryPopRandom(rng); ok {
+					remaining[tk.Dst]--
+				}
+			default: // priority pop
+				if tk, ok := p.TryPop(); ok {
+					remaining[tk.Dst]--
+				}
+			}
+		}
+		for _, n := range remaining {
+			if n != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolTryPopWhere(t *testing.T) {
+	p := NewPool()
+	p.Push(Task{Kind: Demand, Dst: 1, Req: graph.ReqEager})
+	p.Push(Task{Kind: Mark, Dst: 2})
+	p.Push(Task{Kind: Demand, Dst: 3, Req: graph.ReqVital})
+	p.Push(Task{Kind: Demand, Dst: 1, Req: graph.ReqVital})
+
+	// Predicate picks a specific task regardless of band order.
+	tk, ok := p.TryPopWhere(func(q Task) bool { return q.Dst == 1 && q.Kind == Demand && q.Req == graph.ReqEager })
+	if !ok || tk.Dst != 1 || tk.Req != graph.ReqEager {
+		t.Fatalf("TryPopWhere = %+v ok=%v", tk, ok)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+	// High bands are scanned first: a catch-all predicate gets the mark.
+	tk, ok = p.TryPopWhere(func(Task) bool { return true })
+	if !ok || tk.Kind != Mark {
+		t.Fatalf("catch-all popped %+v, want the mark task", tk)
+	}
+	// No match leaves the pool untouched.
+	if _, ok := p.TryPopWhere(func(Task) bool { return false }); ok {
+		t.Fatal("no-match TryPopWhere returned a task")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+}
+
 func TestTaskString(t *testing.T) {
 	tk := Task{Kind: Mark, Src: 1, Dst: 2, Ctx: graph.CtxR, Prior: 3}
 	if got := tk.String(); got != "markR<1,2,p3>" {
