@@ -85,6 +85,7 @@ func BenchmarkReduce(b *testing.B) {
 	for _, name := range []string{"fib", "fac", "sumsquares", "churn"} {
 		p := workload.Programs[name]
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var tasks int64
 			for i := 0; i < b.N; i++ {
 				m := dgr.New(dgr.Options{PEs: 4, Seed: int64(i), Capacity: 1 << 16})
@@ -109,6 +110,7 @@ func BenchmarkReducePEs(b *testing.B) {
 	p := workload.Programs["fib"]
 	for _, pes := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("pes=%d", pes), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				m := dgr.New(dgr.Options{PEs: pes, Parallel: true, Capacity: 1 << 16})
 				v, err := m.Eval(p.Src)
@@ -144,6 +146,7 @@ func BenchmarkGCCycle(b *testing.B) {
 	if _, err := m.Eval(workload.Programs["sumsquares"].Src); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep := m.RunGC()

@@ -8,6 +8,13 @@
 //	dgr-bench -exp thm1,race  # run a subset
 //	dgr-bench -quick          # small workloads (smoke test)
 //	dgr-bench -list           # list experiment IDs
+//	dgr-bench -json           # hot-path benchmark suite as JSON
+//	dgr-bench -json -quick    # same, one iteration per case (CI smoke)
+//
+// -json replaces the experiment tables with the internal/bench hot-path
+// suite (end-to-end reduction, PE scaling sweep, GC cycle) and emits a
+// machine-readable report on stdout; BENCH_0.json at the repo root is a
+// checked-in baseline in this format.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"dgr/internal/bench"
 	"dgr/internal/exp"
 )
 
@@ -32,8 +40,17 @@ func run() error {
 		quick = flag.Bool("quick", false, "shrink workloads")
 		seed  = flag.Int64("seed", 7, "workload seed")
 		list  = flag.Bool("list", false, "list experiment IDs")
+		jsonR = flag.Bool("json", false, "run the hot-path benchmark suite, emit JSON report")
 	)
 	flag.Parse()
+
+	if *jsonR {
+		rep, err := bench.Run(*quick)
+		if err != nil {
+			return err
+		}
+		return rep.WriteJSON(os.Stdout)
+	}
 
 	if *list {
 		for _, e := range exp.All() {

@@ -389,10 +389,10 @@ func (c *Collector) restructure(rep *CycleReport) {
 		})
 	}
 
-	// Return garbage to the free list.
-	for _, v := range garbage {
-		c.store.Release(v)
-	}
+	// Return garbage to the free list — batched, one shard lock hold per
+	// partition, so a big sweep doesn't serialize against the PEs'
+	// allocation fast paths.
+	c.store.ReleaseBatch(garbage)
 	rep.Reclaimed = len(garbage)
 
 	// Report newly deadlocked vertices.

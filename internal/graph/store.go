@@ -28,32 +28,51 @@ type Config struct {
 // Arena segmentation: vertex lookups are the hottest operation in the
 // whole system (every task execution does several), so the arena is a
 // lock-free two-level table — an atomically published slice of fixed-size
-// segments. Readers never take a lock; the store mutex guards only
-// appends and the free lists.
+// segments. Readers never take a lock; the grow mutex guards only appends.
 const (
 	segBits = 12
 	segSize = 1 << segBits
 	segMask = segSize - 1
 )
 
-type segment [segSize]*Vertex
+// segment is one arena block: vertices are embedded by value, so growing
+// the arena costs one allocation per segSize vertices instead of one per
+// vertex (a Machine pre-allocates tens of thousands of free vertices at
+// construction — vertex-at-a-time heap allocation dominated its profile).
+// Vertex pointers into a segment stay stable for the life of the store.
+type segment [segSize]Vertex
+
+// freeShard is one partition's slice of the free set F: its own lock, its
+// own id stack. PEs allocate and release on their own partition, so under
+// partition-local workloads no two PEs ever contend on the same shard
+// lock. The padding keeps adjacent shards on separate cache lines.
+type freeShard struct {
+	mu  sync.Mutex
+	ids []VertexID
+	_   [32]byte // pad to one cache line: adjacent shards must not false-share
+}
 
 // Store owns every vertex in the computation graph, the per-partition free
 // lists (the paper's set F), and an interned string table for KindStr
-// literals. Vertex field access is guarded by per-vertex locks; the store's
-// own lock guards only arena growth and free lists.
+// literals. Vertex field access is guarded by per-vertex locks; free-list
+// access is sharded per partition, so Alloc/Release on different PEs never
+// touch a shared lock (the slow path steals from a sibling shard in
+// batches). Arena growth alone is funneled through one mutex, and both the
+// vertex table and the string table are read lock-free via atomically
+// published copy-on-write structures.
 type Store struct {
 	segs atomic.Pointer[[]*segment]
 	n    atomic.Int64 // number of vertices allocated into the arena (excludes NilVertex)
 
-	mu    sync.Mutex
-	free  [][]VertexID
-	freeN int
-	fixed bool
+	growMu sync.Mutex // guards arena growth (segment appends); not taken by Alloc fast paths
 
-	strMu   sync.Mutex
-	strings []string
-	strIdx  map[string]int64
+	shards []freeShard
+	freeN  atomic.Int64 // |F|, exact: updated only when a vertex enters or leaves F
+	fixed  bool
+
+	strMu  sync.Mutex               // guards interning (writers)
+	strTab atomic.Pointer[[]string] // published table; readers never lock
+	strIdx map[string]int64
 
 	parts int
 }
@@ -65,26 +84,33 @@ func NewStore(cfg Config) *Store {
 		cfg.Partitions = 1
 	}
 	s := &Store{
-		free:   make([][]VertexID, cfg.Partitions),
+		shards: make([]freeShard, cfg.Partitions),
 		fixed:  cfg.FixedSize,
 		parts:  cfg.Partitions,
 		strIdx: make(map[string]int64),
 	}
 	empty := make([]*segment, 0)
 	s.segs.Store(&empty)
-	s.mu.Lock()
+	emptyStr := make([]string, 0)
+	s.strTab.Store(&emptyStr)
 	for i := 0; i < cfg.Capacity; i++ {
-		s.appendFreeLocked(i % cfg.Partitions)
+		part := i % cfg.Partitions
+		id := s.growOne(part)
+		sh := &s.shards[part]
+		sh.mu.Lock()
+		sh.ids = append(sh.ids, id)
+		sh.mu.Unlock()
+		s.freeN.Add(1)
 	}
-	s.mu.Unlock()
 	return s
 }
 
-// appendFreeLocked grows the arena by one free vertex on the given
-// partition. Caller holds s.mu.
-func (s *Store) appendFreeLocked(part int) {
+// growOne extends the arena by one vertex owned by part and returns its id.
+// The new vertex is NOT added to any free list; the caller decides whether
+// it enters F or is handed out directly.
+func (s *Store) growOne(part int) VertexID {
+	s.growMu.Lock()
 	id := VertexID(s.n.Load() + 1) // slot 0 is NilVertex
-	v := &Vertex{ID: id, Part: part, Kind: KindFree}
 
 	segs := *s.segs.Load()
 	segIdx := int(id) >> segBits
@@ -98,10 +124,15 @@ func (s *Store) appendFreeLocked(part int) {
 		s.segs.Store(&grown)
 		segs = grown
 	}
-	segs[segIdx][int(id)&segMask] = v
+	v := &segs[segIdx][int(id)&segMask]
+	v.ID = id
+	v.Part = part
+	v.Kind = KindFree
+	// The vertex fields are fully written before n is published; readers
+	// only dereference ids at or below a loaded n.
 	s.n.Add(1)
-	s.free[part] = append(s.free[part], id)
-	s.freeN++
+	s.growMu.Unlock()
+	return id
 }
 
 // Partitions returns the number of partitions.
@@ -111,11 +142,11 @@ func (s *Store) Partitions() int { return s.parts }
 // not), excluding the nil slot.
 func (s *Store) Len() int { return int(s.n.Load()) }
 
-// FreeCount returns |F|.
+// FreeCount returns |F|. It is exact: the counter moves only when a vertex
+// actually enters or leaves the free set (cross-partition batch transfers
+// keep their vertices in F throughout).
 func (s *Store) FreeCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.freeN
+	return int(s.freeN.Load())
 }
 
 // Vertex returns the vertex with the given ID, or nil for NilVertex or an
@@ -130,7 +161,7 @@ func (s *Store) Vertex(id VertexID) *Vertex {
 	if segIdx >= len(segs) {
 		return nil
 	}
-	return segs[segIdx][int(id)&segMask]
+	return &segs[segIdx][int(id)&segMask]
 }
 
 // MustVertex is Vertex but panics on an invalid ID; for internal callers
@@ -147,21 +178,37 @@ func (s *Store) MustVertex(id VertexID) *Vertex {
 // from other partitions if the local list is empty, and growing the arena if
 // allowed. The vertex is returned labeled with the given kind/value, with no
 // edges, ready for the caller to wire and splice in.
+//
+// part must be a valid partition. A caller that passes an out-of-range
+// partition is misrouting an allocation — silently clamping it to 0 would
+// put the vertex on the wrong PE and mask the bug — so Alloc panics,
+// naming the offending value (the same philosophy as sched.Machine.PartOf).
 func (s *Store) Alloc(part int, kind Kind, val int64) (*Vertex, error) {
 	if part < 0 || part >= s.parts {
-		part = 0
+		panic(fmt.Sprintf("graph: Alloc partition %d out of range [0,%d)", part, s.parts))
 	}
-	s.mu.Lock()
-	id, ok := s.popFreeLocked(part)
-	if !ok {
-		if s.fixed {
-			s.mu.Unlock()
+	var id VertexID
+	for {
+		var ok bool
+		id, ok = s.popLocal(part)
+		if !ok {
+			id, ok = s.steal(part)
+		}
+		if ok {
+			break
+		}
+		if !s.fixed {
+			id = s.growOne(part)
+			break
+		}
+		// FixedSize and the sweep found nothing. Vertices never leave F
+		// except when claimed (freeN is decremented exactly then), so
+		// freeN == 0 means F really is empty. A nonzero freeN means a
+		// concurrent Release landed after we passed its shard — retry.
+		if s.freeN.Load() == 0 {
 			return nil, ErrNoFreeVertices
 		}
-		s.appendFreeLocked(part)
-		id, _ = s.popFreeLocked(part)
 	}
-	s.mu.Unlock()
 	v := s.Vertex(id)
 
 	v.Lock()
@@ -172,32 +219,101 @@ func (s *Store) Alloc(part int, kind Kind, val int64) (*Vertex, error) {
 	return v, nil
 }
 
-func (s *Store) popFreeLocked(part int) (VertexID, bool) {
-	for i := 0; i < s.parts; i++ {
-		p := (part + i) % s.parts
-		if n := len(s.free[p]); n > 0 {
-			id := s.free[p][n-1]
-			s.free[p] = s.free[p][:n-1]
-			s.freeN--
+// popLocal takes the most recently freed vertex of part's own shard.
+// This is the allocation fast path: one uncontended per-partition lock.
+func (s *Store) popLocal(part int) (VertexID, bool) {
+	sh := &s.shards[part]
+	sh.mu.Lock()
+	n := len(sh.ids)
+	if n == 0 {
+		sh.mu.Unlock()
+		return NilVertex, false
+	}
+	id := sh.ids[n-1]
+	sh.ids = sh.ids[:n-1]
+	sh.mu.Unlock()
+	s.freeN.Add(-1)
+	return id, true
+}
+
+// steal claims one free vertex from a sibling partition's shard. It is the
+// deliberate slow path: it runs only when part's own shard is empty, and it
+// probes victims in ring order from part — the exact order (and therefore
+// the exact id sequence) of the pre-sharding allocator, which the
+// deterministic scheduler's schedule-identity guarantee depends on. Only
+// one shard lock is held at a time, so steals can never deadlock against
+// each other or against Release.
+func (s *Store) steal(part int) (VertexID, bool) {
+	for off := 1; off < s.parts; off++ {
+		vs := &s.shards[(part+off)%s.parts]
+		vs.mu.Lock()
+		if n := len(vs.ids); n > 0 {
+			id := vs.ids[n-1]
+			vs.ids = vs.ids[:n-1]
+			vs.mu.Unlock()
+			s.freeN.Add(-1)
 			return id, true
 		}
+		vs.mu.Unlock()
 	}
 	return NilVertex, false
 }
 
 // Release returns a vertex to F (the restructuring phase's "adding elements
 // of GAR to F"). The caller must guarantee the vertex is unreachable; its
-// edges and reduction state are cleared.
+// edges and reduction state are cleared. Only the owning partition's shard
+// lock is taken, so concurrent releases on different PEs never contend.
 func (s *Store) Release(v *Vertex) {
 	v.Lock()
 	v.ResetFree()
 	part := v.Part
 	v.Unlock()
 
-	s.mu.Lock()
-	s.free[part] = append(s.free[part], v.ID)
-	s.freeN++
-	s.mu.Unlock()
+	sh := &s.shards[part]
+	sh.mu.Lock()
+	sh.ids = append(sh.ids, v.ID)
+	sh.mu.Unlock()
+	s.freeN.Add(1)
+}
+
+// ReleaseBatch returns a whole batch of vertices to F, refilling each
+// partition's free cache with a single lock acquisition per partition —
+// the restructuring phase reclaims garbage by the thousand, and paying a
+// shard lock per vertex would make the collector the one writer that
+// serializes against every PE's allocation fast path. Append order within
+// a partition matches vertex order in vs, so the id sequence handed back
+// out by Alloc is identical to len(vs) individual Release calls.
+func (s *Store) ReleaseBatch(vs []*Vertex) {
+	if len(vs) == 0 {
+		return
+	}
+	for _, v := range vs {
+		v.Lock()
+		v.ResetFree()
+		v.Unlock()
+	}
+	// One pass per distinct partition in the batch; each pass appends all
+	// of that partition's vertices (in batch order) under a single lock
+	// hold.
+	released := make([]bool, s.parts)
+	for _, first := range vs {
+		part := first.Part
+		if released[part] {
+			continue
+		}
+		released[part] = true
+		sh := &s.shards[part]
+		n := 0
+		sh.mu.Lock()
+		for _, v := range vs {
+			if v.Part == part {
+				sh.ids = append(sh.ids, v.ID)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+		s.freeN.Add(int64(n))
+	}
 }
 
 // IsFree reports whether id is currently in F.
@@ -219,10 +335,7 @@ func (s *Store) ForEach(fn func(*Vertex)) {
 	n := s.n.Load()
 	segs := *s.segs.Load()
 	for i := int64(1); i <= n; i++ {
-		v := segs[int(i)>>segBits][int(i)&segMask]
-		if v != nil {
-			fn(v)
-		}
+		fn(&segs[int(i)>>segBits][int(i)&segMask])
 	}
 }
 
@@ -236,27 +349,33 @@ func (s *Store) ForEachInPartition(part int, fn func(*Vertex)) {
 }
 
 // InternString interns a string and returns its table index for use as a
-// KindStr vertex value.
+// KindStr vertex value. Interning copies and republishes the table, which
+// keeps StringAt lock-free; interning happens at compile time, reading on
+// the reduction hot path, so the copy is on the right side.
 func (s *Store) InternString(str string) int64 {
 	s.strMu.Lock()
 	defer s.strMu.Unlock()
 	if i, ok := s.strIdx[str]; ok {
 		return i
 	}
-	i := int64(len(s.strings))
-	s.strings = append(s.strings, str)
+	old := *s.strTab.Load()
+	tab := make([]string, len(old)+1)
+	copy(tab, old)
+	tab[len(old)] = str
+	i := int64(len(old))
 	s.strIdx[str] = i
+	s.strTab.Store(&tab)
 	return i
 }
 
 // StringAt returns the interned string at index i ("" if out of range).
+// Lock-free: it reads the atomically published copy-on-write table.
 func (s *Store) StringAt(i int64) string {
-	s.strMu.Lock()
-	defer s.strMu.Unlock()
-	if i < 0 || int(i) >= len(s.strings) {
+	tab := *s.strTab.Load()
+	if i < 0 || int(i) >= len(tab) {
 		return ""
 	}
-	return s.strings[int(i)]
+	return tab[i]
 }
 
 // PartitionOf returns the partition that owns id (0 for invalid IDs).

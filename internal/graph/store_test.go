@@ -137,6 +137,182 @@ func TestStoreConcurrentAllocRelease(t *testing.T) {
 	}
 }
 
+func TestStoreAllocPanicsOnBadPartition(t *testing.T) {
+	s := NewStore(Config{Partitions: 2, Capacity: 2})
+	for _, part := range []int{-1, 2, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Alloc(%d) did not panic", part)
+				}
+			}()
+			_, _ = s.Alloc(part, KindInt, 0)
+		}()
+	}
+}
+
+// TestStoreConcurrentStealConservation hammers the steal path: every free
+// vertex starts on partition 0, while all allocators run on other
+// partitions, so every allocation must cross shards. Checks: no id is
+// handed out twice, FixedSize never fails while F is non-empty, and |F| is
+// conserved exactly once the dust settles.
+func TestStoreConcurrentStealConservation(t *testing.T) {
+	const parts = 4
+	const perG = 300
+	// Capacity lands round-robin, so build a store where partition 0 owns
+	// everything: allocate all, then release — releases go to the owning
+	// partition's shard.
+	s := NewStore(Config{Partitions: parts, Capacity: 0})
+	var seed []*Vertex
+	for i := 0; i < parts*perG; i++ {
+		v, err := s.Alloc(0, KindInt, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed = append(seed, v)
+	}
+	s.ReleaseBatch(seed)
+	if got := s.FreeCount(); got != parts*perG {
+		t.Fatalf("seeded FreeCount = %d, want %d", got, parts*perG)
+	}
+
+	var mu sync.Mutex
+	held := make(map[VertexID]int)
+	var wg sync.WaitGroup
+	for p := 1; p < parts; p++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v, err := s.Alloc(part, KindInt, int64(i))
+				if err != nil {
+					t.Errorf("alloc on part %d: %v", part, err)
+					return
+				}
+				mu.Lock()
+				held[v.ID]++
+				mu.Unlock()
+				if i%3 == 0 {
+					s.Release(v)
+					mu.Lock()
+					held[v.ID]--
+					mu.Unlock()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	live := 0
+	for id, n := range held {
+		if n < 0 || n > 1 {
+			t.Fatalf("vertex %d held %d times (double allocation)", id, n)
+		}
+		live += n
+	}
+	if got := s.FreeCount(); got != s.Len()-live {
+		t.Fatalf("FreeCount = %d, want Len-live = %d-%d", got, s.Len(), live)
+	}
+}
+
+// TestStoreFixedSizeExhaustionExact asserts the FixedSize contract:
+// ErrNoFreeVertices exactly when freeN == 0, including when the last free
+// vertices live on a different partition than the allocator.
+func TestStoreFixedSizeExhaustionExact(t *testing.T) {
+	s := NewStore(Config{Partitions: 3, Capacity: 6, FixedSize: true})
+	var got []*Vertex
+	// Drain entirely from partition 2: 2 local, 4 stolen.
+	for i := 0; i < 6; i++ {
+		if want := 6 - i; s.FreeCount() != want {
+			t.Fatalf("FreeCount before alloc %d = %d, want %d", i, s.FreeCount(), want)
+		}
+		v, err := s.Alloc(2, KindInt, int64(i))
+		if err != nil {
+			t.Fatalf("alloc %d with freeN=%d: %v", i, s.FreeCount(), err)
+		}
+		got = append(got, v)
+	}
+	if _, err := s.Alloc(0, KindInt, 9); !errors.Is(err, ErrNoFreeVertices) {
+		t.Fatalf("err = %v, want ErrNoFreeVertices at freeN==0", err)
+	}
+	// One release on any partition makes exactly one Alloc succeed again.
+	s.Release(got[3])
+	if _, err := s.Alloc(1, KindInt, 9); err != nil {
+		t.Fatalf("alloc after release: %v", err)
+	}
+	if _, err := s.Alloc(1, KindInt, 9); !errors.Is(err, ErrNoFreeVertices) {
+		t.Fatalf("err = %v, want ErrNoFreeVertices", err)
+	}
+}
+
+// TestStoreConcurrentFixedChurn runs FixedSize alloc/release churn across
+// partitions under the race detector: allocations may transiently fail only
+// while other goroutines hold vertices, and the free count must balance.
+func TestStoreConcurrentFixedChurn(t *testing.T) {
+	const parts = 4
+	s := NewStore(Config{Partitions: parts, Capacity: parts * 2, FixedSize: true})
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v, err := s.Alloc(part, KindInt, int64(i))
+				if err != nil {
+					// Legal only because siblings hold vertices; F must
+					// really have been exhaustible.
+					continue
+				}
+				s.Release(v)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := s.FreeCount(); got != s.Len() {
+		t.Fatalf("FreeCount = %d, want %d (all released)", got, s.Len())
+	}
+	if got := s.Len(); got != parts*2 {
+		t.Fatalf("Len = %d, want %d (FixedSize must not grow)", got, parts*2)
+	}
+}
+
+func TestReleaseBatch(t *testing.T) {
+	s := NewStore(Config{Partitions: 3, Capacity: 9})
+	// Allocate everything, interleaving partitions.
+	var vs []*Vertex
+	for i := 0; i < 9; i++ {
+		v, err := s.Alloc(i%3, KindInt, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	if got := s.FreeCount(); got != 0 {
+		t.Fatalf("FreeCount = %d, want 0", got)
+	}
+	// Release a non-contiguous mix (partitions interleaved: exercises the
+	// one-pass-per-partition logic against double releases).
+	batch := []*Vertex{vs[0], vs[1], vs[3], vs[2], vs[6], vs[4]}
+	s.ReleaseBatch(batch)
+	if got := s.FreeCount(); got != len(batch) {
+		t.Fatalf("FreeCount = %d, want %d", got, len(batch))
+	}
+	seen := make(map[VertexID]bool)
+	for i := 0; i < len(batch); i++ {
+		v, err := s.Alloc(i%3, KindHole, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[v.ID] {
+			t.Fatalf("vertex %d allocated twice: double release", v.ID)
+		}
+		seen[v.ID] = true
+	}
+	if got := s.FreeCount(); got != 0 {
+		t.Fatalf("FreeCount = %d, want 0 after re-allocating batch", got)
+	}
+	s.ReleaseBatch(nil) // no-op
+}
+
 func TestInternString(t *testing.T) {
 	s := NewStore(Config{Partitions: 1, Capacity: 1})
 	a := s.InternString("hello")

@@ -124,13 +124,33 @@ type Machine struct {
 	// ordering); assigned at execution start.
 	execSeq atomic.Uint64
 
-	// current[i] publishes PE i's in-execution task (nil when idle), so
-	// M_T's troot snapshot cannot miss a task that is neither queued nor
-	// finished. Per-PE atomics keep this off the global lock.
-	current []atomic.Pointer[task.Task]
+	// current[i] publishes PE i's in-execution task, so M_T's troot
+	// snapshot cannot miss a task that is neither queued nor finished.
+	// Each slot is a preallocated per-PE struct guarded by its own (padded)
+	// mutex: the previous atomic.Pointer design forced every execution to
+	// heap-allocate a task copy for the pointer to point at — one
+	// allocation per task on the hottest path in the machine. Readers
+	// (CurrentTasks) are rare; writers only ever touch their own PE's
+	// uncontended lock.
+	current []curSlot
+
+	// stepScratch is Step's reusable non-empty-PE selection buffer.
+	// Deterministic mode is single-threaded by contract, so one buffer
+	// per machine suffices and Step allocates nothing.
+	stepScratch []int
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// curSlot is one PE's in-execution task slot. Padding keeps neighboring
+// PEs' slots off each other's cache lines (each PE writes its slot twice
+// per task).
+type curSlot struct {
+	mu    sync.Mutex
+	t     task.Task
+	valid bool
+	_     [24]byte
 }
 
 // New builds a machine. SetHandler must be called before any task executes.
@@ -153,7 +173,8 @@ func New(cfg Config) *Machine {
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	m.cond = sync.NewCond(&m.mu)
-	m.current = make([]atomic.Pointer[task.Task], cfg.PEs)
+	m.current = make([]curSlot, cfg.PEs)
+	m.stepScratch = make([]int, 0, cfg.PEs)
 	for i := range m.pools {
 		m.pools[i] = task.NewPool()
 	}
@@ -273,9 +294,15 @@ func (m *Machine) execute(pe int, t task.Task) {
 			c.ReductionTasks.Add(1)
 		}
 	}
-	m.current[pe].Store(&t)
+	slot := &m.current[pe]
+	slot.mu.Lock()
+	slot.t = t
+	slot.valid = true
+	slot.mu.Unlock()
 	m.handler.Handle(t)
-	m.current[pe].Store(nil)
+	slot.mu.Lock()
+	slot.valid = false
+	slot.mu.Unlock()
 	m.finish()
 	if fn := m.cfg.AfterExecute; fn != nil {
 		fn(seq, pe, t)
@@ -339,9 +366,12 @@ func (m *Machine) Fabric() *fabric.Fabric { return m.fab }
 func (m *Machine) CurrentTasks() []task.Task {
 	out := make([]task.Task, 0, len(m.current))
 	for i := range m.current {
-		if t := m.current[i].Load(); t != nil {
-			out = append(out, *t)
+		s := &m.current[i]
+		s.mu.Lock()
+		if s.valid {
+			out = append(out, s.t)
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -360,7 +390,7 @@ func (m *Machine) Step() bool {
 		m.fab.Tick()
 	}
 	for {
-		nonEmpty := make([]int, 0, len(m.pools))
+		nonEmpty := m.stepScratch[:0]
 		for i, p := range m.pools {
 			if p.Len() > 0 {
 				nonEmpty = append(nonEmpty, i)

@@ -60,9 +60,7 @@ func Collect(store *graph.Store, counters *metrics.Counters, roots ...graph.Vert
 			garbage = append(garbage, v)
 		}
 	})
-	for _, v := range garbage {
-		store.Release(v)
-	}
+	store.ReleaseBatch(garbage)
 
 	res := Result{
 		Marked:    len(live),

@@ -10,12 +10,16 @@ import (
 // Pool is the per-PE taskpool(i) of §5.2: all unexecuted tasks whose
 // destination resides on that PE. It is safe for concurrent use. Tasks are
 // held in priority bands (marking > vital > eager > reserve) with FIFO order
-// within a band.
+// within a band; each band is a growable ring buffer, so the steady-state
+// push/pop cycle of a busy PE allocates nothing.
 type Pool struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	bands [numBands][]Task
+	bands [numBands]ring
 	n     int
+	// waiters counts goroutines blocked in PopWait; wakeups are issued
+	// only when someone can actually consume them.
+	waiters int
 	// closed stops blocking waiters.
 	closed bool
 }
@@ -27,20 +31,38 @@ func NewPool() *Pool {
 	return p
 }
 
+// Wakeup policy: every push wakes exactly as many waiters as it queued
+// tasks (capped at the number of goroutines actually blocked), via one
+// Signal per wakeable task. Signal wakes at most one waiter, each woken
+// waiter consumes at least one task or re-waits, so this is sufficient for
+// progress without Broadcast's thundering herd — a Broadcast on an n-PE
+// machine wakes n goroutines to fight over one pool lock even when only
+// one of them can pop. When no waiter is blocked, no wakeup is issued at
+// all.
+func (p *Pool) wake(pushed, waiters int) {
+	if waiters < pushed {
+		pushed = waiters
+	}
+	for i := 0; i < pushed; i++ {
+		p.cond.Signal()
+	}
+}
+
 // Push enqueues a task, computing its band.
 func (p *Pool) Push(t Task) {
 	t.Band = t.ComputeBand()
 	p.mu.Lock()
-	p.bands[t.Band] = append(p.bands[t.Band], t)
+	p.bands[t.Band].push(t)
 	p.n++
+	waiters := p.waiters
 	p.mu.Unlock()
-	p.cond.Signal()
+	p.wake(1, waiters)
 }
 
-// PushBatch enqueues a batch of tasks under one lock acquisition and one
-// wakeup — the amortization the inter-PE fabric's coalescing buys: a link
-// delivers a whole batch into the destination pool at the cost of a single
-// message.
+// PushBatch enqueues a batch of tasks under one lock acquisition — the
+// amortization the inter-PE fabric's coalescing buys: a link delivers a
+// whole batch into the destination pool at the cost of a single message.
+// See wake for the wakeup policy (one Signal per consumable task).
 func (p *Pool) PushBatch(ts []Task) {
 	if len(ts) == 0 {
 		return
@@ -48,15 +70,12 @@ func (p *Pool) PushBatch(ts []Task) {
 	p.mu.Lock()
 	for _, t := range ts {
 		t.Band = t.ComputeBand()
-		p.bands[t.Band] = append(p.bands[t.Band], t)
+		p.bands[t.Band].push(t)
 	}
 	p.n += len(ts)
+	waiters := p.waiters
 	p.mu.Unlock()
-	if len(ts) == 1 {
-		p.cond.Signal()
-	} else {
-		p.cond.Broadcast()
-	}
+	p.wake(len(ts), waiters)
 }
 
 // Len returns the number of queued tasks.
@@ -78,11 +97,9 @@ func (p *Pool) popLocked() (Task, bool) {
 		return Task{}, false
 	}
 	for b := int(numBands) - 1; b >= 0; b-- {
-		if len(p.bands[b]) > 0 {
-			t := p.bands[b][0]
-			p.bands[b] = p.bands[b][1:]
+		if p.bands[b].len() > 0 {
 			p.n--
-			return t, true
+			return p.bands[b].popFront(), true
 		}
 	}
 	return Task{}, false
@@ -96,11 +113,11 @@ func (p *Pool) TryPopWhere(pred func(Task) bool) (Task, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for b := int(numBands) - 1; b >= 0; b-- {
-		for i, t := range p.bands[b] {
-			if pred(t) {
-				p.bands[b] = append(p.bands[b][:i], p.bands[b][i+1:]...)
+		r := &p.bands[b]
+		for i := 0; i < r.len(); i++ {
+			if pred(*r.at(i)) {
 				p.n--
-				return t, true
+				return r.removeAt(i), true
 			}
 		}
 	}
@@ -118,13 +135,11 @@ func (p *Pool) TryPopRandom(rng *rand.Rand) (Task, bool) {
 	}
 	k := rng.Intn(p.n)
 	for b := range p.bands {
-		if k < len(p.bands[b]) {
-			t := p.bands[b][k]
-			p.bands[b] = append(p.bands[b][:k], p.bands[b][k+1:]...)
+		if k < p.bands[b].len() {
 			p.n--
-			return t, true
+			return p.bands[b].removeAt(k), true
 		}
-		k -= len(p.bands[b])
+		k -= p.bands[b].len()
 	}
 	return Task{}, false // unreachable
 }
@@ -141,7 +156,9 @@ func (p *Pool) PopWait() (Task, bool) {
 		if p.closed {
 			return Task{}, false
 		}
+		p.waiters++
 		p.cond.Wait()
+		p.waiters--
 	}
 }
 
@@ -154,8 +171,9 @@ func (p *Pool) Close() {
 	p.cond.Broadcast()
 }
 
-// Kick wakes one waiter without pushing (used when external state such as a
-// stop flag changed).
+// Kick wakes all waiters without pushing (used when external state such as
+// a stop flag changed; correctness requires every waiter to re-check, so
+// this is the one deliberate Broadcast besides Close).
 func (p *Pool) Kick() { p.cond.Broadcast() }
 
 // Each calls fn for every queued task under the pool lock. fn must not call
@@ -167,8 +185,9 @@ func (p *Pool) Each(fn func(Task)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for b := range p.bands {
-		for _, t := range p.bands[b] {
-			fn(t)
+		r := &p.bands[b]
+		for i := 0; i < r.len(); i++ {
+			fn(*r.at(i))
 		}
 	}
 }
@@ -181,15 +200,7 @@ func (p *Pool) Expunge(pred func(Task) bool) int {
 	defer p.mu.Unlock()
 	removed := 0
 	for b := range p.bands {
-		kept := p.bands[b][:0]
-		for _, t := range p.bands[b] {
-			if pred(t) {
-				removed++
-				continue
-			}
-			kept = append(kept, t)
-		}
-		p.bands[b] = kept
+		removed += p.bands[b].filter(func(t *Task) bool { return !pred(*t) })
 	}
 	p.n -= removed
 	return removed
@@ -206,31 +217,27 @@ func (p *Pool) Reprioritize(fn func(Task) graph.ReqKind) int {
 	changed := 0
 	var moved []Task
 	for b := range p.bands {
-		kept := p.bands[b][:0]
-		for _, t := range p.bands[b] {
+		p.bands[b].filter(func(t *Task) bool {
 			if t.Kind != Demand {
-				kept = append(kept, t)
-				continue
+				return true
 			}
-			nk := fn(t)
+			nk := fn(*t)
 			if nk == t.Req {
-				kept = append(kept, t)
-				continue
+				return true
 			}
 			t.Req = nk
 			nb := t.ComputeBand()
 			if nb == t.Band {
-				kept = append(kept, t)
-				continue
+				return true
 			}
 			t.Band = nb
-			moved = append(moved, t)
+			moved = append(moved, *t)
 			changed++
-		}
-		p.bands[b] = kept
+			return false
+		})
 	}
 	for _, t := range moved {
-		p.bands[t.Band] = append(p.bands[t.Band], t)
+		p.bands[t.Band].push(t)
 	}
 	return changed
 }

@@ -403,7 +403,7 @@ func TestPoolQuickBandOrder(t *testing.T) {
 		counts := make([]int, numBands)
 		p.mu.Lock()
 		for b := range p.bands {
-			counts[b] = len(p.bands[b])
+			counts[b] = p.bands[b].len()
 		}
 		p.mu.Unlock()
 		for {
