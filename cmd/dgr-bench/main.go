@@ -10,6 +10,8 @@
 //	dgr-bench -list           # list experiment IDs
 //	dgr-bench -json           # hot-path benchmark suite as JSON
 //	dgr-bench -json -quick    # same, one iteration per case (CI smoke)
+//	dgr-bench -watch          # live per-PE dashboard (parallel machine + obs)
+//	dgr-bench -watch -name churn -pes 8 -interval 500ms -for 30s
 //
 // -json replaces the experiment tables with the internal/bench hot-path
 // suite (end-to-end reduction, PE scaling sweep, GC cycle) and emits a
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dgr/internal/bench"
 	"dgr/internal/exp"
@@ -36,13 +39,22 @@ func main() {
 
 func run() error {
 	var (
-		which = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		quick = flag.Bool("quick", false, "shrink workloads")
-		seed  = flag.Int64("seed", 7, "workload seed")
-		list  = flag.Bool("list", false, "list experiment IDs")
-		jsonR = flag.Bool("json", false, "run the hot-path benchmark suite, emit JSON report")
+		which    = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		quick    = flag.Bool("quick", false, "shrink workloads")
+		seed     = flag.Int64("seed", 7, "workload seed")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		jsonR    = flag.Bool("json", false, "run the hot-path benchmark suite, emit JSON report")
+		watch    = flag.Bool("watch", false, "live terminal dashboard: loop a corpus program on a parallel machine")
+		wName    = flag.String("name", "fib", "corpus program for -watch")
+		wPEs     = flag.Int("pes", 4, "machine width for -watch")
+		interval = flag.Duration("interval", 250*time.Millisecond, "refresh interval for -watch")
+		wFor     = flag.Duration("for", 0, "stop -watch after this long (0 = until Ctrl-C)")
 	)
 	flag.Parse()
+
+	if *watch {
+		return watchRun(*wName, *wPEs, *interval, *wFor)
+	}
 
 	if *jsonR {
 		rep, err := bench.Run(*quick)

@@ -7,11 +7,22 @@
 //	dgr-run [flags] program.dgr
 //	dgr-run -list                  # show the builtin program corpus
 //	dgr-run -name fib              # run a corpus program
+//
+// With -http the machine's observability layer is exposed live:
+//
+//	dgr-run -parallel -http :8080 -linger 30s -name fib
+//	curl localhost:8080/metrics              # Prometheus text exposition
+//	curl localhost:8080/debug/snapshot.json  # machine digest + time-series
+//	curl localhost:8080/debug/graph.dot      # computation graph (Graphviz)
+//	curl localhost:8080/debug/spans.jsonl    # chrome://tracing span export
+//	curl localhost:8080/debug/flight.jsonl   # flight-recorder ring
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"time"
@@ -29,16 +40,21 @@ func main() {
 
 func run() error {
 	var (
-		pes      = flag.Int("pes", 4, "number of processing elements")
-		parallel = flag.Bool("parallel", false, "run PEs as goroutines (default: deterministic)")
-		seed     = flag.Int64("seed", 1, "deterministic scheduling seed")
-		spec     = flag.Bool("spec", false, "speculatively evaluate if branches")
-		mtEvery  = flag.Int("mtevery", 4, "run deadlock detection every k-th GC cycle (0 = never)")
-		expr     = flag.String("e", "", "program text to evaluate")
-		name     = flag.String("name", "", "run a named corpus program")
-		list     = flag.Bool("list", false, "list corpus programs")
-		stats    = flag.Bool("stats", true, "print run statistics")
-		timeout  = flag.Duration("timeout", 30*time.Second, "parallel evaluation timeout")
+		pes       = flag.Int("pes", 4, "number of processing elements")
+		parallel  = flag.Bool("parallel", false, "run PEs as goroutines (default: deterministic)")
+		seed      = flag.Int64("seed", 1, "deterministic scheduling seed")
+		spec      = flag.Bool("spec", false, "speculatively evaluate if branches")
+		mtEvery   = flag.Int("mtevery", 4, "run deadlock detection every k-th GC cycle (0 = never)")
+		expr      = flag.String("e", "", "program text to evaluate")
+		name      = flag.String("name", "", "run a named corpus program")
+		list      = flag.Bool("list", false, "list corpus programs")
+		stats     = flag.Bool("stats", true, "print run statistics")
+		timeout   = flag.Duration("timeout", 30*time.Second, "parallel evaluation timeout")
+		obsOn     = flag.Bool("obs", false, "enable the observability layer")
+		httpAddr  = flag.String("http", "", "serve /metrics and /debug/* on this address (implies -obs)")
+		linger    = flag.Duration("linger", 0, "keep serving -http for this long after the eval finishes")
+		spansOut  = flag.String("spans", "", "write chrome://tracing span JSONL to this file (implies -obs)")
+		flightDir = flag.String("flightdir", "", "auto-dump the flight recorder here on deadlock/violation (implies -obs)")
 	)
 	flag.Parse()
 
@@ -84,12 +100,31 @@ func run() error {
 		SpeculativeIf: *spec,
 		MTEvery:       mtCfg,
 		Timeout:       *timeout,
+		Obs:           *obsOn || *httpAddr != "" || *spansOut != "",
+		ObsFlightDir:  *flightDir,
 	})
 	defer m.Close()
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("serving observability on http://%s\n", ln.Addr())
+		go http.Serve(ln, obsMux(m)) //nolint:errcheck // dies with the process
+	}
 
 	start := time.Now()
 	v, err := m.Eval(src)
 	elapsed := time.Since(start)
+	if werr := writeSpans(m, *spansOut); werr != nil {
+		fmt.Fprintln(os.Stderr, "dgr-run: -spans:", werr)
+	}
+	if *httpAddr != "" && *linger > 0 {
+		fmt.Printf("lingering %s for scrapes...\n", *linger)
+		time.Sleep(*linger)
+	}
 	if err != nil {
 		if dead := m.Deadlocked(); len(dead) > 0 {
 			fmt.Printf("deadlocked vertices: %v\n", dead)
@@ -104,4 +139,41 @@ func run() error {
 		fmt.Printf("heap: %d vertices, %d free\n", m.TotalVertices(), m.FreeVertices())
 	}
 	return nil
+}
+
+// obsMux routes the live exposition endpoints. Every handler renders from
+// the machine's current state at request time.
+func obsMux(m *dgr.Machine) *http.ServeMux {
+	mux := http.NewServeMux()
+	serve := func(path, contentType string, fn func(w http.ResponseWriter) error) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", contentType)
+			if err := fn(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	serve("/metrics", "text/plain; version=0.0.4",
+		func(w http.ResponseWriter) error { return m.WritePrometheus(w) })
+	serve("/debug/snapshot.json", "application/json",
+		func(w http.ResponseWriter) error { return m.WriteSnapshotJSON(w) })
+	serve("/debug/graph.dot", "text/vnd.graphviz",
+		func(w http.ResponseWriter) error { return m.WriteGraphDOT(w) })
+	serve("/debug/spans.jsonl", "application/jsonl",
+		func(w http.ResponseWriter) error { return m.WriteSpansJSONL(w) })
+	serve("/debug/flight.jsonl", "application/jsonl",
+		func(w http.ResponseWriter) error { return m.WriteFlightJSONL(w) })
+	return mux
+}
+
+func writeSpans(m *dgr.Machine, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.WriteSpansJSONL(f)
 }

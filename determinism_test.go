@@ -32,6 +32,14 @@ func scheduleDigest(t *testing.T, seed int64, pes int, src string, want int64) s
 		RecordSchedule: true,
 	})
 	defer m.Close()
+	return digestEval(t, m, src, want)
+}
+
+// digestEval evaluates src on a schedule-recording machine and digests the
+// recorded schedule (shared with the obs integration tests, which assert
+// instrumentation does not perturb it).
+func digestEval(t *testing.T, m *dgr.Machine, src string, want int64) string {
+	t.Helper()
 	v, err := m.Eval(src)
 	if err != nil {
 		t.Fatalf("eval: %v", err)

@@ -17,9 +17,14 @@
 package dgr
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dgr/internal/check"
@@ -28,6 +33,7 @@ import (
 	"dgr/internal/graph"
 	"dgr/internal/lang"
 	"dgr/internal/metrics"
+	"dgr/internal/obs"
 	"dgr/internal/reduce"
 	"dgr/internal/sched"
 	"dgr/internal/task"
@@ -115,6 +121,30 @@ type Options struct {
 	// (fabric message lifecycle among them) for WriteTraceJSONL.
 	TraceCapacity int
 
+	// Obs enables the unified observability layer (internal/obs): span
+	// tracing of collector phases, per-PE execution batches, and fabric
+	// flights; per-PE time-series with quantile summaries; a flight recorder
+	// of recent scheduler/collector/fabric events; and the Prometheus/JSON
+	// exposition methods (WriteSpansJSONL, WriteFlightJSONL,
+	// WritePrometheus, WriteSnapshotJSON). When off, instrumented hot paths
+	// pay a single pointer test and schedules are bit-identical to an
+	// uninstrumented build.
+	Obs bool
+	// ObsSpanCapacity bounds the span ring (default 4096).
+	ObsSpanCapacity int
+	// ObsFlightCapacity bounds each flight-recorder shard (default 1024).
+	ObsFlightCapacity int
+	// ObsSeriesCapacity bounds each time-series ring (default 512).
+	ObsSeriesCapacity int
+	// ObsSampleEvery is the parallel-mode sampling period (default 5ms);
+	// deterministic machines sample at collector cycle ends instead.
+	ObsSampleEvery time.Duration
+	// ObsFlightDir, when non-empty (implies Obs), auto-dumps the flight
+	// recorder as JSONL into this directory the first time an Eval returns
+	// ErrDeadlock or the invariant checker reports a violation, leaving a
+	// diagnosable artifact for intermittent failures.
+	ObsFlightDir string
+
 	// Check enables the always-on invariant checker: marking invariants
 	// (Figure 4-2), inflight conservation, band consistency, and mt-cnt
 	// underflow are asserted at sample points throughout the run. Inspect
@@ -163,6 +193,9 @@ func (o Options) withDefaults() Options {
 	if o.Check && o.CheckEvery <= 0 {
 		o.CheckEvery = 256
 	}
+	if o.ObsFlightDir != "" {
+		o.Obs = true
+	}
 	return o
 }
 
@@ -180,7 +213,15 @@ type Machine struct {
 	tracer    *trace.Tracer
 	checker   *check.Checker
 	recorder  *check.Recorder
-	closed    bool
+	obs       *obs.Obs
+	// flightOnce gates the flight-recorder auto-dump: the first failure
+	// (deadlock or invariant violation) writes the artifact; later ones
+	// would only overwrite the fresh evidence. flightPath publishes the
+	// written artifact's path (it may be written from a PE goroutine via
+	// the checker's OnViolation hook, hence the atomic).
+	flightOnce sync.Once
+	flightPath atomic.Value
+	closed     bool
 }
 
 // New builds a machine. Parallel machines start their PEs and collector
@@ -200,6 +241,36 @@ func New(opts Options) *Machine {
 	if opts.TraceCapacity > 0 {
 		tracer = trace.NewTracer(opts.TraceCapacity)
 	}
+	// The observability layer's sources close over the machine and collector
+	// assigned below (the same late-binding pattern the checker uses): no
+	// source is read until a collector cycle runs or the sampler starts,
+	// both strictly after New finishes wiring.
+	var mach *sched.Machine
+	var collector *core.Collector
+	var ob *obs.Obs
+	if opts.Obs {
+		ob = obs.New(obs.Options{
+			PEs:            opts.PEs,
+			Parallel:       opts.Parallel,
+			SpanCapacity:   opts.ObsSpanCapacity,
+			FlightCapacity: opts.ObsFlightCapacity,
+			SeriesCapacity: opts.ObsSeriesCapacity,
+			SampleEvery:    opts.ObsSampleEvery,
+			KindNames:      task.KindNameTable(),
+			Sources: obs.Sources{
+				// BandLens returns [task.NumBands]int; compiling it as an
+				// [obs.Bands]int asserts the two constants agree.
+				QueueDepths: func(pe int) [obs.Bands]int { return mach.Pool(pe).BandLens() },
+				FreeOf:      store.FreeCountOf,
+				FreeTotal:   store.FreeCount,
+				Heap:        store.Len,
+				Inflight:    func() int64 { return mach.Inflight() },
+				InTransit:   func() int64 { return mach.InTransit() },
+				Cycles:      func() int64 { return collector.Cycles() },
+				Deadlocked:  func() int { return len(collector.Deadlocked()) },
+			},
+		})
+	}
 	var fab *fabric.Fabric
 	if opts.Fabric {
 		fab = fabric.New(fabric.Config{
@@ -215,6 +286,7 @@ func New(opts Options) *Machine {
 			RetryEvery:  opts.RetryEvery,
 			Counters:    counters,
 			Tracer:      tracer,
+			Obs:         ob,
 		})
 	}
 	// The checker and recorder hook into the scheduler, but both need the
@@ -231,6 +303,7 @@ func New(opts Options) *Machine {
 		PartOf:      store.PartitionOf,
 		Counters:    counters,
 		Fabric:      fab,
+		Obs:         ob,
 	}
 	if opts.RecordSchedule {
 		recorder = check.NewRecorder()
@@ -241,7 +314,7 @@ func New(opts Options) *Machine {
 			checker.AfterExecute(seq, pe, t)
 		}
 	}
-	mach := sched.New(schedCfg)
+	mach = sched.New(schedCfg)
 	marker := core.NewMarker(store, mach, counters)
 	if opts.FaultSkipMark > 0 {
 		marker.SetFaultSkipMark(opts.FaultSkipMark)
@@ -259,10 +332,10 @@ func New(opts Options) *Machine {
 		Counters:      counters,
 	})
 	mach.SetHandler(core.NewDispatcher(marker, engine))
-	var collector *core.Collector
 	collCfg := core.CollectorConfig{
 		MTEvery: opts.MTEvery,
 		Pace:    opts.Pace,
+		Obs:     ob,
 		OnDeadlock: func(ids []graph.VertexID) {
 			// Footnote 5: resolve pending is-bottom probes that are
 			// themselves deadlocked, and un-record them (they now have a
@@ -284,11 +357,52 @@ func New(opts Options) *Machine {
 		opts: opts, store: store, mach: mach, marker: marker,
 		mut: mut, engine: engine, collector: collector, counters: counters,
 		fab: fab, tracer: tracer, checker: checker, recorder: recorder,
+		obs: ob,
+	}
+	if checker != nil && ob != nil {
+		checker.OnViolation = func() { m.dumpFlight("violation") }
 	}
 	if opts.Parallel {
 		mach.Start()
+		if ob != nil {
+			ob.StartSampler()
+		}
 	}
 	return m
+}
+
+// dumpFlight writes the flight recorder into Options.ObsFlightDir (once per
+// machine, first failure wins) and returns the artifact path, or "" when
+// nothing was written (obs off, no dir configured, or already dumped).
+func (m *Machine) dumpFlight(reason string) string {
+	if m.obs == nil || m.opts.ObsFlightDir == "" {
+		return ""
+	}
+	path := ""
+	m.flightOnce.Do(func() {
+		p := filepath.Join(m.opts.ObsFlightDir,
+			fmt.Sprintf("dgr-flight-%s-%d.jsonl", reason, time.Now().UnixNano()))
+		f, err := os.Create(p)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		if m.obs.WriteFlightJSONL(f) == nil {
+			path = p
+			m.flightPath.Store(p)
+		}
+	})
+	return path
+}
+
+// FlightDumpPath returns the path of the flight-recorder artifact this
+// machine auto-dumped on its first deadlock or invariant violation, or ""
+// when none was written (no failure, or Options.ObsFlightDir unset).
+func (m *Machine) FlightDumpPath() string {
+	if p, ok := m.flightPath.Load().(string); ok {
+		return p
+	}
+	return ""
 }
 
 // Close stops the PEs and the collector of a parallel machine. It is
@@ -311,6 +425,9 @@ func (m *Machine) Close() {
 	} else if m.fab != nil {
 		m.fab.Close()
 	}
+	// After Stop/wg.Wait (parallel) or with nothing executing
+	// (deterministic), closing obs may safely flush open batch spans.
+	m.obs.Close()
 }
 
 // Compile translates a program to a combinator graph and returns its root.
@@ -325,9 +442,21 @@ func (m *Machine) Compile(src string) (NodeID, error) {
 	return v.ID, nil
 }
 
-// Eval compiles and evaluates a program to WHNF.
+// Eval compiles and evaluates a program to WHNF. In parallel mode the
+// compile and re-rooting are fenced against the concurrent collection loop:
+// a cycle that started from a previous program's root mid-compile would
+// otherwise sweep the fresh, not-yet-rooted graph on the next cycle.
 func (m *Machine) Eval(src string) (Value, error) {
+	if m.opts.Parallel {
+		m.collector.Pause()
+	}
 	root, err := m.Compile(src)
+	if err == nil {
+		m.collector.SetRoot(root)
+	}
+	if m.opts.Parallel {
+		m.collector.Resume()
+	}
 	if err != nil {
 		return Value{}, err
 	}
@@ -349,6 +478,9 @@ func (m *Machine) EvalNode(root NodeID) (Value, error) {
 }
 
 func (m *Machine) pumpDeterministic(root NodeID, ch <-chan Value) (Value, error) {
+	// Eval completion is a safe point: close open execution batches and
+	// accrue pending counters so post-eval exposition reads exact totals.
+	defer m.obs.FlushBatches()
 	steps := 0
 	quietCycles := 0
 	for steps < m.opts.MaxSteps {
@@ -389,8 +521,9 @@ func (m *Machine) pumpDeterministic(root NodeID, ch <-chan Value) (Value, error)
 			if errs := m.engine.Errors(); len(errs) > 0 {
 				return Value{}, fmt.Errorf("%w: %v", ErrStuck, errs[0])
 			}
-			if len(m.collector.Deadlocked()) > 0 {
-				return Value{}, fmt.Errorf("%w: %d vertices", ErrDeadlock, len(m.collector.Deadlocked()))
+			if n := len(m.collector.Deadlocked()); n > 0 {
+				m.dumpFlight("deadlock")
+				return Value{}, fmt.Errorf("%w: %d vertices", ErrDeadlock, n)
 			}
 			if quietCycles >= maxQuietCycles(m.opts.MTEvery) {
 				return Value{}, ErrStuck
@@ -436,8 +569,9 @@ func (m *Machine) waitParallel(ch <-chan Value) (Value, error) {
 				return v, nil
 			default:
 			}
-			if len(m.collector.Deadlocked()) > 0 && m.mach.Inflight() == 0 {
-				return Value{}, fmt.Errorf("%w: %d vertices", ErrDeadlock, len(m.collector.Deadlocked()))
+			if n := len(m.collector.Deadlocked()); n > 0 && m.mach.Inflight() == 0 {
+				m.dumpFlight("deadlock")
+				return Value{}, fmt.Errorf("%w: %d vertices", ErrDeadlock, n)
 			}
 			if m.mach.Inflight() == 0 {
 				if errs := m.engine.Errors(); len(errs) > 0 {
@@ -528,6 +662,139 @@ func (m *Machine) WriteTraceJSONL(w io.Writer) error {
 	}
 	return m.tracer.WriteJSONL(w)
 }
+
+var errObsDisabled = errors.New("dgr: observability disabled (set Options.Obs)")
+
+// WriteSpansJSONL writes the retained observation spans (collector phases,
+// per-PE execution batches, fabric flights) as chrome://tracing-compatible
+// JSON Lines. It errors unless Options.Obs is on.
+func (m *Machine) WriteSpansJSONL(w io.Writer) error {
+	if m.obs == nil {
+		return errObsDisabled
+	}
+	return m.obs.WriteSpansJSONL(w)
+}
+
+// WriteFlightJSONL writes the flight recorder's retained events (recent
+// executions and collector/fabric activity, timestamp-merged) as JSON
+// Lines. It errors unless Options.Obs is on.
+func (m *Machine) WriteFlightJSONL(w io.Writer) error {
+	if m.obs == nil {
+		return errObsDisabled
+	}
+	return m.obs.WriteFlightJSONL(w)
+}
+
+// ObsSeries returns a snapshot of the sampled per-PE and machine-wide
+// time-series with quantile summaries, or nil unless Options.Obs is on.
+func (m *Machine) ObsSeries() *obs.SeriesSnap { return m.obs.Series() }
+
+// ObsSampleNow takes one time-series sample immediately (deterministic
+// machines otherwise sample only at collector cycle ends). No-op when
+// Options.Obs is off.
+func (m *Machine) ObsSampleNow() { m.obs.SampleNow() }
+
+// promData assembles the live gauge set for the Prometheus exposition.
+func (m *Machine) promData() obs.PromData {
+	d := obs.PromData{
+		Stats:      m.counters.Snapshot(),
+		PEs:        m.opts.PEs,
+		Heap:       m.store.Len(),
+		Free:       m.store.FreeCount(),
+		Inflight:   m.mach.Inflight(),
+		InTransit:  m.mach.InTransit(),
+		Deadlocked: len(m.collector.Deadlocked()),
+
+		FreePerPart: make([]int, m.opts.PEs),
+		PoolBands:   make([][obs.Bands]int, m.opts.PEs),
+		ExecsPerPE:  make([]int64, m.opts.PEs),
+		Utils:       make([]float64, m.opts.PEs),
+	}
+	snap := m.obs.Series()
+	for pe := 0; pe < m.opts.PEs; pe++ {
+		d.FreePerPart[pe] = m.store.FreeCountOf(pe)
+		d.PoolBands[pe] = m.mach.Pool(pe).BandLens()
+		d.ExecsPerPE[pe] = m.obs.Execs(pe)
+		if snap != nil && len(snap.PE[pe]) > 0 {
+			d.Utils[pe] = snap.PE[pe][len(snap.PE[pe])-1].Util
+		}
+	}
+	return d
+}
+
+// WritePrometheus renders the machine's counters and live gauges in the
+// Prometheus text exposition format. It errors unless Options.Obs is on.
+func (m *Machine) WritePrometheus(w io.Writer) error {
+	if m.obs == nil {
+		return errObsDisabled
+	}
+	return obs.WritePrometheus(w, m.promData())
+}
+
+// WriteSnapshotJSON writes a one-shot JSON digest of the machine: counters,
+// graph occupancy, per-PE pool depths and execution counts, the sampled
+// time-series, and any recorded invariant violations. It errors unless
+// Options.Obs is on.
+func (m *Machine) WriteSnapshotJSON(w io.Writer) error {
+	if m.obs == nil {
+		return errObsDisabled
+	}
+	d := m.promData()
+	dead := m.collector.Deadlocked()
+	out := struct {
+		Now         int64             `json:"now_ns"`
+		PEs         int               `json:"pes"`
+		Parallel    bool              `json:"parallel"`
+		Heap        int               `json:"heap"`
+		Free        int               `json:"free"`
+		FreePerPart []int             `json:"free_per_part"`
+		Inflight    int64             `json:"inflight"`
+		InTransit   int64             `json:"in_transit"`
+		Cycles      int64             `json:"cycles"`
+		Executions  uint64            `json:"executions"`
+		Deadlocked  []NodeID          `json:"deadlocked,omitempty"`
+		Pools       [][obs.Bands]int  `json:"pools"`
+		ExecsPerPE  []int64           `json:"execs_per_pe"`
+		Utils       []float64         `json:"utils"`
+		Stats       metrics.Snapshot  `json:"stats"`
+		Series      *obs.SeriesSnap   `json:"series"`
+		Violations  []string          `json:"violations,omitempty"`
+		FlightLast  []obs.FlightEvent `json:"flight_last,omitempty"`
+	}{
+		Now: m.obs.Now(), PEs: d.PEs, Parallel: m.opts.Parallel,
+		Heap: d.Heap, Free: d.Free, FreePerPart: d.FreePerPart,
+		Inflight: d.Inflight, InTransit: d.InTransit,
+		Cycles: m.collector.Cycles(), Executions: m.mach.Executions(),
+		Deadlocked: dead, Pools: d.PoolBands, ExecsPerPE: d.ExecsPerPE,
+		Utils: d.Utils, Stats: d.Stats, Series: m.obs.Series(),
+		Violations: m.CheckViolations(),
+	}
+	if evs := m.obs.FlightEvents(); len(evs) > 16 {
+		out.FlightLast = evs[len(evs)-16:]
+	} else {
+		out.FlightLast = evs
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteGraphDOT renders the current computation graph as Graphviz DOT, with
+// the collector's root double-circled and deadlocked vertices highlighted.
+// Take it while the machine is quiescent for a consistent picture.
+func (m *Machine) WriteGraphDOT(w io.Writer) error {
+	hl := make(map[graph.VertexID]string)
+	for _, id := range m.collector.Deadlocked() {
+		hl[id] = "red"
+	}
+	return trace.WriteDOT(w, m.store.Snapshot(), m.collector.Root(), trace.DOTOptions{
+		Highlight: hl,
+	})
+}
+
+// Root returns the collector's current computation root (the last node
+// passed to EvalNode / DemandNode).
+func (m *Machine) Root() NodeID { return m.collector.Root() }
 
 // CheckViolations returns the invariant violations recorded so far. It is
 // empty unless Options.Check is on (and, one hopes, even then).

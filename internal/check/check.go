@@ -54,6 +54,11 @@ type Checker struct {
 	// Parallel restricts every-execution and cycle-end samples to the
 	// checks that are sound under concurrent mutation.
 	Parallel bool
+	// OnViolation, if set, fires once per report that found violations —
+	// after they are recorded — so a flight recorder can dump its ring while
+	// the failing state is still fresh. It must not call back into the
+	// checker.
+	OnViolation func()
 
 	mu         sync.Mutex
 	violations []string
@@ -296,6 +301,9 @@ func (c *Checker) report(point string, errs []string) {
 		for _, e := range errs {
 			c.Tracer.Record("check.violation", 0, 0, point+": "+e)
 		}
+	}
+	if c.OnViolation != nil {
+		c.OnViolation()
 	}
 }
 

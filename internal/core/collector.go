@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"dgr/internal/graph"
 	"dgr/internal/metrics"
+	"dgr/internal/obs"
 	"dgr/internal/sched"
 	"dgr/internal/task"
 )
@@ -45,6 +47,10 @@ type CollectorConfig struct {
 	// completion, and later phases of the same cycle legally rewire edges
 	// (most visibly for M_T, which runs before the whole M_R phase).
 	AfterPhase func(ctx graph.Ctx)
+	// Obs, when non-nil, receives per-phase spans (M_T, M_R, restructure,
+	// sweep), cycle events for the flight recorder, and an end-of-cycle
+	// time-series sample. All calls are nil-safe no-ops when unset.
+	Obs *obs.Obs
 }
 
 // CycleRecorder observes cycle-level scheduling decisions. The M_T root set
@@ -90,6 +96,10 @@ type Collector struct {
 	counters *metrics.Counters
 	cfg      CollectorConfig
 
+	// pauseMu serializes whole cycles against harness critical sections
+	// (Pause/Resume); RunCycle holds it for the cycle's duration.
+	pauseMu sync.Mutex
+
 	mu         sync.Mutex
 	cycleN     int64
 	lastTEpoch uint64 // T epoch of the most recent M_T run
@@ -117,6 +127,24 @@ func (c *Collector) SetRoot(root graph.VertexID) {
 	c.mu.Lock()
 	c.cfg.Root = root
 	c.mu.Unlock()
+}
+
+// Pause blocks until any in-progress cycle completes and keeps new cycles
+// from starting until Resume. Harnesses evaluating several programs on one
+// live machine use it to make a compile + SetRoot sequence atomic with
+// respect to the concurrent collection loop: without the fence, a cycle
+// rooted at the previous program can start mid-compile and sweep the fresh,
+// not-yet-rooted graph as garbage.
+func (c *Collector) Pause() { c.pauseMu.Lock() }
+
+// Resume releases a Pause.
+func (c *Collector) Resume() { c.pauseMu.Unlock() }
+
+// Root returns the current computation root.
+func (c *Collector) Root() graph.VertexID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Root
 }
 
 // Cycles returns the number of completed cycles.
@@ -195,6 +223,9 @@ func (c *Collector) mtDue(n int64) bool {
 // queued — this is the concurrent-marking execution); in parallel mode it
 // blocks on the marker's done channels while the PEs run.
 func (c *Collector) RunCycle() CycleReport {
+	c.pauseMu.Lock()
+	defer c.pauseMu.Unlock()
+
 	c.mu.Lock()
 	c.cycleN++
 	n := c.cycleN
@@ -202,8 +233,12 @@ func (c *Collector) RunCycle() CycleReport {
 	c.mu.Unlock()
 
 	rep := CycleReport{Cycle: n, Completed: true}
+	o := c.cfg.Obs
+	cycleStart := o.Now()
+	o.Event(obs.TIDCollector, "cycle.start", uint64(root), 0, "")
 
 	if c.mtDue(n) {
+		phaseStart := o.Now()
 		roots := c.taskRoots()
 		if c.cfg.Recorder != nil {
 			c.cfg.Recorder.CycleStart(graph.CtxT, roots)
@@ -214,6 +249,7 @@ func (c *Collector) RunCycle() CycleReport {
 		c.lastTEpoch = c.marker.Epoch(graph.CtxT)
 		c.mu.Unlock()
 		rep.MTRan = rep.Completed
+		o.Span("M_T", "collector", obs.TIDCollector, phaseStart, int64(len(roots)))
 		if c.counters != nil && rep.MTRan {
 			c.counters.MTRuns.Add(1)
 		}
@@ -223,12 +259,14 @@ func (c *Collector) RunCycle() CycleReport {
 	}
 
 	if rep.Completed {
+		phaseStart := o.Now()
 		roots := []Root{{ID: root, Prior: graph.PriorVital}}
 		if c.cfg.Recorder != nil {
 			c.cfg.Recorder.CycleStart(graph.CtxR, roots)
 		}
 		done := c.marker.StartCycle(graph.CtxR, roots)
 		rep.Steps += c.waitPhase(graph.CtxR, done, &rep)
+		o.Span("M_R", "collector", obs.TIDCollector, phaseStart, 1)
 		if rep.Completed && c.cfg.AfterPhase != nil {
 			c.cfg.AfterPhase(graph.CtxR)
 		}
@@ -238,10 +276,19 @@ func (c *Collector) RunCycle() CycleReport {
 		if c.cfg.Recorder != nil {
 			c.cfg.Recorder.RestructureStart(rep.MTRan)
 		}
+		phaseStart := o.Now()
 		c.restructure(&rep)
+		o.Span("restructure", "collector", obs.TIDCollector, phaseStart, int64(rep.Reclaimed))
 		if c.counters != nil {
 			c.counters.Cycles.Add(1)
 		}
+	}
+	o.Span("cycle", "collector", obs.TIDCollector, cycleStart, n)
+	if o != nil {
+		o.Event(obs.TIDCollector, "cycle.end", uint64(root), 0,
+			fmt.Sprintf("reclaimed=%d expunged=%d reprio=%d deadlocked=%d",
+				rep.Reclaimed, rep.Expunged, rep.Reprioritized, len(rep.Deadlocked)))
+		o.SampleNow()
 	}
 	if c.cfg.AfterCycle != nil {
 		c.cfg.AfterCycle(rep)
@@ -312,6 +359,8 @@ func (c *Collector) restructure(rep *CycleReport) {
 	garbageSet := make(map[graph.VertexID]bool)
 	var dead []graph.VertexID
 
+	o := c.cfg.Obs
+	sweepStart := o.Now()
 	c.store.ForEach(func(v *graph.Vertex) {
 		v.Lock()
 		defer v.Unlock()
@@ -339,6 +388,7 @@ func (c *Collector) restructure(rep *CycleReport) {
 			dead = append(dead, v.ID)
 		}
 	})
+	o.Span("sweep", "collector", obs.TIDCollector, sweepStart, int64(len(garbage)))
 
 	// Expunge irrelevant tasks: every task whose destination is garbage
 	// (Property 6: IRR = {<s,d> | d ∈ GAR}). The garbage set was computed
@@ -410,6 +460,10 @@ func (c *Collector) restructure(rep *CycleReport) {
 		if len(fresh) > 0 {
 			if c.counters != nil {
 				c.counters.DeadlockedFound.Add(int64(len(fresh)))
+			}
+			if o != nil {
+				o.Event(obs.TIDCollector, "deadlock.found", uint64(fresh[0]), 0,
+					fmt.Sprintf("n=%d", len(fresh)))
 			}
 			if c.cfg.OnDeadlock != nil {
 				c.cfg.OnDeadlock(fresh)

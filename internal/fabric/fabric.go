@@ -47,6 +47,7 @@ import (
 
 	"dgr/internal/graph"
 	"dgr/internal/metrics"
+	"dgr/internal/obs"
 	"dgr/internal/task"
 	"dgr/internal/trace"
 )
@@ -71,6 +72,10 @@ type Config struct {
 
 	Counters *metrics.Counters // optional shared counters
 	Tracer   *trace.Tracer     // optional event log (fab.* events)
+	// Obs, when non-nil, receives the fab.* events into the flight recorder
+	// and a "fab-batch" span per delivered batch (flush to first delivery).
+	// Nil-safe.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +155,7 @@ type batch struct {
 	seq      uint64
 	tasks    []task.Task
 	born     int64 // clock when the oldest task entered the outbox
+	obsBorn  int64 // obs monotonic clock at flush (0 when obs is disabled)
 	attempts int
 	inFlight bool  // a transmission is en route
 	dueAt    int64 // deterministic mode: arrival tick of that transmission
@@ -256,7 +262,8 @@ func (lk *link) flushLocked() *batch {
 		return nil
 	}
 	lk.nextSeq++
-	b := &batch{seq: lk.nextSeq, tasks: lk.outbox, born: lk.outboxBorn}
+	b := &batch{seq: lk.nextSeq, tasks: lk.outbox, born: lk.outboxBorn,
+		obsBorn: lk.f.cfg.Obs.Now()}
 	lk.outbox = nil
 	lk.unacked[b.seq] = b
 	lk.batches++
@@ -347,6 +354,7 @@ func (lk *link) arriveLocked(b *batch, now int64) {
 			c.FabricLatency.Observe(lat)
 		}
 		f.traceEvent("fab.deliver", lk, fmt.Sprintf("seq=%d n=%d attempt=%d", b.seq, len(b.tasks), b.attempts))
+		f.cfg.Obs.Span("fab-batch", "fabric", obs.TIDFabric, b.obsBorn, n)
 		if n > 0 {
 			f.deliver(lk.to, b.tasks)
 		}
@@ -721,4 +729,5 @@ func (f *Fabric) traceEvent(kind string, lk *link, note string) {
 	if f.cfg.Tracer != nil {
 		f.cfg.Tracer.Record(kind, graph.VertexID(lk.from), graph.VertexID(lk.to), note)
 	}
+	f.cfg.Obs.Event(obs.TIDFabric, kind, uint64(lk.from), uint64(lk.to), note)
 }

@@ -149,6 +149,19 @@ func (s *Store) FreeCount() int {
 	return int(s.freeN.Load())
 }
 
+// FreeCountOf returns the free-vertex count of one partition's shard, or 0
+// for an out-of-range partition. Takes that shard's lock only.
+func (s *Store) FreeCountOf(part int) int {
+	if part < 0 || part >= len(s.shards) {
+		return 0
+	}
+	sh := &s.shards[part]
+	sh.mu.Lock()
+	n := len(sh.ids)
+	sh.mu.Unlock()
+	return n
+}
+
 // Vertex returns the vertex with the given ID, or nil for NilVertex or an
 // out-of-range ID. The returned pointer is stable for the life of the
 // store. Lock-free.

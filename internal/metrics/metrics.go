@@ -101,6 +101,17 @@ func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
 	return d
 }
 
+// Merge returns s + o bucket-wise: the histogram of the union of both
+// observation sets (log2 buckets make merging exact). The sampler uses it
+// to combine per-link histograms into one exposition series.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	var m HistSnapshot
+	for i := range s {
+		m[i] = s[i] + o[i]
+	}
+	return m
+}
+
 // Quantile returns an upper bound on the q-quantile (q in [0,1]): the
 // exclusive upper edge of the first bucket whose cumulative count reaches
 // q·Total. Returns 0 on an empty histogram.
@@ -216,6 +227,14 @@ func (c *Counters) Snapshot() Snapshot {
 		FabricExpunged:    c.FabricExpunged.Load(),
 		FabricLatency:     c.FabricLatency.Snapshot(),
 	}
+}
+
+// Diff snapshots the current counters and returns the delta against a
+// previous snapshot — the value-type interval helper the time-series
+// sampler and the exposition endpoints use (equivalent to
+// c.Snapshot().Sub(prev), in one call).
+func (c *Counters) Diff(prev Snapshot) Snapshot {
+	return c.Snapshot().Sub(prev)
 }
 
 // String renders the snapshot as a one-line summary. Fabric traffic is

@@ -228,6 +228,57 @@ func TestHistogramSub(t *testing.T) {
 	}
 }
 
+func TestCountersDiff(t *testing.T) {
+	var c Counters
+	c.TasksExecuted.Add(10)
+	c.FabricLatency.Observe(5)
+	prev := c.Snapshot()
+	c.TasksExecuted.Add(4)
+	c.Reclaimed.Add(2)
+	c.FabricLatency.Observe(5)
+	c.FabricLatency.Observe(9000)
+	d := c.Diff(prev)
+	if d.TasksExecuted != 4 || d.Reclaimed != 2 {
+		t.Fatalf("Diff = %+v", d)
+	}
+	if d.FabricLatency.Total() != 2 {
+		t.Fatalf("Diff latency total = %d, want 2", d.FabricLatency.Total())
+	}
+	// Diff against a fresh snapshot of itself is zero everywhere.
+	if z := c.Diff(c.Snapshot()); z.TasksExecuted != 0 || z.FabricLatency.Total() != 0 {
+		t.Fatalf("self-diff = %+v", z)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(100)
+	b.Observe(1)
+	b.Observe(1)
+	b.Observe(5000)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Total() != 5 {
+		t.Fatalf("merged total = %d, want 5", m.Total())
+	}
+	// Bucket contents add exactly: value 1 lives in bucket 1.
+	if m[1] != 3 {
+		t.Fatalf("merged bucket 1 = %d, want 3", m[1])
+	}
+	// Merge is commutative and the identity is the zero snapshot.
+	if b.Snapshot().Merge(a.Snapshot()) != m {
+		t.Fatal("merge not commutative")
+	}
+	var zero HistSnapshot
+	if m.Merge(zero) != m {
+		t.Fatal("zero is not the merge identity")
+	}
+	// Quantiles over the merged set see both populations.
+	if q := m.Quantile(1); q < 5000 {
+		t.Fatalf("merged p100 = %d, want ≥ 5000's bucket bound", q)
+	}
+}
+
 func TestSnapshotFabricFields(t *testing.T) {
 	var c Counters
 	c.FabricSent.Add(9)

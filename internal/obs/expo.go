@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"dgr/internal/metrics"
+)
+
+// WriteSpansJSONL writes the retained spans as chrome://tracing-compatible
+// JSON Lines: one complete-duration ("ph":"X") event per line, timestamps
+// and durations in microseconds on the layer's monotonic clock. Load the
+// lines (wrapped in a JSON array) in chrome://tracing or Perfetto; PEs
+// appear as tids 0..n-1, the collector as tid -1, the fabric as tid -2.
+func (o *Obs) WriteSpansJSONL(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	for _, s := range o.Spans() {
+		_, err := fmt.Fprintf(w,
+			`{"name":%q,"cat":%q,"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"n":%d}}`+"\n",
+			s.Name, s.Cat, s.TID, float64(s.Start)/1e3, float64(s.Dur)/1e3, s.N)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromData is everything the Prometheus exposition renders: the shared
+// counters plus live machine gauges. Slices indexed by PE; nil slices are
+// simply omitted from the output.
+type PromData struct {
+	Stats       metrics.Snapshot
+	PEs         int
+	Heap, Free  int
+	FreePerPart []int
+	Inflight    int64
+	InTransit   int64
+	Deadlocked  int
+	PoolBands   [][Bands]int // per-PE queue depth per band
+	Utils       []float64    // per-PE utilization (latest sample window)
+	ExecsPerPE  []int64      // per-PE cumulative executions
+}
+
+// WritePrometheus renders d in the Prometheus text exposition format
+// (version 0.0.4). Counter totals come from the metrics snapshot; gauges
+// from the live machine; the fabric latency histogram is rendered with its
+// native log2 bucket bounds.
+func WritePrometheus(w io.Writer, d PromData) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	counter := func(name, help string, v int64) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		p("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	s := d.Stats
+	counter("dgr_tasks_executed_total", "Task executions across all PEs.", s.TasksExecuted)
+	counter("dgr_reduction_tasks_total", "Demand/result/reduce executions.", s.ReductionTasks)
+	counter("dgr_mark_tasks_total", "Mark task executions.", s.MarkTasks)
+	counter("dgr_return_tasks_total", "Return task executions.", s.ReturnTasks)
+	counter("dgr_remote_messages_total", "Tasks spawned across partitions.", s.RemoteMessages)
+	counter("dgr_local_messages_total", "Tasks spawned within a partition.", s.LocalMessages)
+	counter("dgr_rewrites_total", "Combinator/primitive graph rewrites.", s.Rewrites)
+	counter("dgr_allocations_total", "Vertices taken from the free set.", s.Allocations)
+	counter("dgr_reclaimed_total", "Vertices returned to the free set.", s.Reclaimed)
+	counter("dgr_gc_cycles_total", "Completed mark/restructure cycles.", s.Cycles)
+	counter("dgr_mt_runs_total", "Cycles that included an M_T phase.", s.MTRuns)
+	counter("dgr_expunged_total", "Irrelevant tasks deleted.", s.Expunged)
+	counter("dgr_reprioritized_total", "Tasks whose band changed in restructuring.", s.Reprioritized)
+	counter("dgr_deadlocked_found_total", "Vertices reported deadlocked.", s.DeadlockedFound)
+	counter("dgr_check_violations_total", "Invariant violations reported.", s.CheckViolations)
+
+	if s.FabricSent > 0 {
+		counter("dgr_fabric_sent_total", "Tasks handed to the fabric.", s.FabricSent)
+		counter("dgr_fabric_delivered_total", "Tasks delivered by the fabric.", s.FabricDelivered)
+		counter("dgr_fabric_batches_total", "Batches flushed onto links.", s.FabricBatches)
+		counter("dgr_fabric_dropped_total", "Batch transmissions lost.", s.FabricDropped)
+		counter("dgr_fabric_retries_total", "Batch retransmissions.", s.FabricRetries)
+		h := s.FabricLatency
+		p("# HELP dgr_fabric_latency_us Enqueue-to-delivery latency, microseconds.\n")
+		p("# TYPE dgr_fabric_latency_us histogram\n")
+		var cum int64
+		for b, c := range h {
+			cum += c
+			p("dgr_fabric_latency_us_bucket{le=\"%d\"} %d\n", int64(1)<<b, cum)
+		}
+		p("dgr_fabric_latency_us_bucket{le=\"+Inf\"} %d\n", cum)
+		p("dgr_fabric_latency_us_count %d\n", cum)
+	}
+
+	gauge("dgr_pes", "Processing elements.", int64(d.PEs))
+	gauge("dgr_heap_vertices", "Vertices in the arena (|V|).", int64(d.Heap))
+	gauge("dgr_free_vertices", "Free vertices (|F|).", int64(d.Free))
+	gauge("dgr_inflight_tasks", "Queued plus executing tasks.", d.Inflight)
+	gauge("dgr_in_transit_tasks", "Tasks inside the inter-PE fabric.", d.InTransit)
+	gauge("dgr_deadlocked_vertices", "Vertices identified as deadlocked.", int64(d.Deadlocked))
+
+	if len(d.FreePerPart) > 0 {
+		p("# HELP dgr_partition_free_vertices Free vertices per graph partition.\n")
+		p("# TYPE dgr_partition_free_vertices gauge\n")
+		for part, n := range d.FreePerPart {
+			p("dgr_partition_free_vertices{part=\"%d\"} %d\n", part, n)
+		}
+	}
+	if len(d.PoolBands) > 0 {
+		p("# HELP dgr_pe_queue_depth Queued tasks per PE and priority band.\n")
+		p("# TYPE dgr_pe_queue_depth gauge\n")
+		for pe, bands := range d.PoolBands {
+			for b, n := range bands {
+				p("dgr_pe_queue_depth{pe=\"%d\",band=%q} %d\n", pe, BandNames[b], n)
+			}
+		}
+	}
+	if len(d.Utils) > 0 {
+		p("# HELP dgr_pe_utilization Fraction of the last sample interval spent executing.\n")
+		p("# TYPE dgr_pe_utilization gauge\n")
+		for pe, u := range d.Utils {
+			p("dgr_pe_utilization{pe=\"%d\"} %.6f\n", pe, u)
+		}
+	}
+	if len(d.ExecsPerPE) > 0 {
+		p("# HELP dgr_pe_tasks_executed_total Task executions per PE.\n")
+		p("# TYPE dgr_pe_tasks_executed_total counter\n")
+		for pe, n := range d.ExecsPerPE {
+			p("dgr_pe_tasks_executed_total{pe=\"%d\"} %d\n", pe, n)
+		}
+	}
+	return err
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightEvent is one entry in the flight recorder: a timestamped scheduler,
+// collector, or fabric occurrence. TS is nanoseconds on the layer's
+// monotonic clock; PE is the acting processing element, or TIDCollector /
+// TIDFabric for the non-PE actors.
+type FlightEvent struct {
+	TS   int64  `json:"ts"`
+	PE   int    `json:"pe"`
+	Kind string `json:"kind"`
+	Src  uint64 `json:"src,omitempty"`
+	Dst  uint64 `json:"dst,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+// peExec is one task execution in a PE's ring, packed into two atomic
+// words: when holds ts<<8|kind (56 bits of monotonic nanoseconds — ample —
+// plus the numeric task kind), ends holds src<<32|dst (vertex IDs are 32
+// bits). The ring has a single writer (the PE's goroutine, or the driver
+// thread in deterministic mode) so stores never contend, and a dump racing
+// the writer can at worst read a torn *entry* (words from two executions),
+// never unsafe memory — which is why the entry holds a numeric kind instead
+// of a string.
+type peExec struct {
+	when atomic.Uint64
+	ends atomic.Uint64
+}
+
+// peRing is a lock-free single-writer ring of executions.
+type peRing struct {
+	ring []peExec
+	mask uint64
+	next atomic.Uint64
+	_    [32]byte // keep neighboring PEs off this cache line
+}
+
+// flightShard is a mutex-guarded ring for the rare collector/fabric events,
+// which carry preformatted note strings.
+type flightShard struct {
+	mu   sync.Mutex
+	ring []FlightEvent
+	next uint64
+}
+
+// Flight is the recorder: per-execution events go to per-PE lock-free
+// rings; collector and fabric events to two mutex shards. Dumps merge
+// everything by timestamp.
+type Flight struct {
+	pe        []peRing
+	coll, fab flightShard
+	kindNames []string
+}
+
+func newFlight(pes, capacity int, kindNames []string) *Flight {
+	cap2 := 1
+	for cap2 < capacity {
+		cap2 <<= 1
+	}
+	f := &Flight{pe: make([]peRing, pes), kindNames: kindNames}
+	for i := range f.pe {
+		f.pe[i].ring = make([]peExec, cap2)
+		f.pe[i].mask = uint64(cap2 - 1)
+	}
+	f.coll.ring = make([]FlightEvent, capacity)
+	f.fab.ring = make([]FlightEvent, capacity)
+	return f
+}
+
+// noteExec records one task execution on PE pe's ring: two uncontended
+// atomic stores and a head publish. This is the scheduler's per-task path.
+func (f *Flight) noteExec(pe int, ts int64, kind uint8, src, dst uint64) {
+	r := &f.pe[pe]
+	n := r.next.Load()
+	e := &r.ring[n&r.mask]
+	e.when.Store(uint64(ts)<<8 | uint64(kind))
+	e.ends.Store(src<<32 | dst&0xffffffff)
+	r.next.Store(n + 1)
+}
+
+// note records a collector or fabric event (any non-collector actor folds
+// onto the fabric shard; these paths are rare enough for a mutex).
+func (f *Flight) note(pe int, ts int64, kind string, src, dst uint64, note string) {
+	sh := &f.fab
+	if pe == TIDCollector {
+		sh = &f.coll
+	}
+	sh.mu.Lock()
+	sh.ring[sh.next%uint64(len(sh.ring))] = FlightEvent{
+		TS: ts, PE: pe, Kind: kind, Src: src, Dst: dst, Note: note,
+	}
+	sh.next++
+	sh.mu.Unlock()
+}
+
+func (f *Flight) kindName(k uint8) string {
+	if int(k) < len(f.kindNames) && f.kindNames[k] != "" {
+		return f.kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// events returns every retained event across rings and shards, oldest
+// first. A dump racing a still-executing PE may mix the fields of the
+// couple of entries at that ring's head; dumps happen on failure or
+// exposition, where that imprecision is acceptable.
+func (f *Flight) events() []FlightEvent {
+	var out []FlightEvent
+	for pe := range f.pe {
+		r := &f.pe[pe]
+		n := r.next.Load()
+		start := uint64(0)
+		if n > uint64(len(r.ring)) {
+			start = n - uint64(len(r.ring))
+		}
+		for i := start; i < n; i++ {
+			e := &r.ring[i&r.mask]
+			when, ends := e.when.Load(), e.ends.Load()
+			out = append(out, FlightEvent{
+				TS:   int64(when >> 8),
+				PE:   pe,
+				Kind: f.kindName(uint8(when)),
+				Src:  ends >> 32,
+				Dst:  ends & 0xffffffff,
+			})
+		}
+	}
+	for _, sh := range []*flightShard{&f.coll, &f.fab} {
+		sh.mu.Lock()
+		n := uint64(len(sh.ring))
+		start := uint64(0)
+		if sh.next > n {
+			start = sh.next - n
+		}
+		for j := start; j < sh.next; j++ {
+			out = append(out, sh.ring[j%n])
+		}
+		sh.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// WriteFlightJSONL dumps the flight recorder as JSON Lines, oldest event
+// first — the artifact the machine writes automatically when it reports
+// ErrDeadlock or an invariant violation.
+func (o *Obs) WriteFlightJSONL(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range o.flight.events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

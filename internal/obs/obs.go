@@ -1,0 +1,414 @@
+// Package obs is the machine's unified observability layer: monotonic-clock
+// span tracing for collector phases, per-PE execution batches, and fabric
+// batch flights; per-PE time-series sampled into fixed-size ring buffers;
+// Prometheus-text and JSON exposition helpers; and a flight recorder — a
+// bounded ring of recent timestamped scheduler/collector/fabric events that
+// is dumped when the machine misbehaves (ErrDeadlock, invariant violation),
+// so intermittent failures leave a diagnosable artifact instead of a shrug.
+//
+// Every recording method is nil-safe: a nil *Obs is the disabled layer, and
+// callers on hot paths pay exactly one pointer test. With obs enabled the
+// steady-state hot path (TaskStart/TaskEnd) costs a few plain single-writer
+// field updates and one lock-free ring write per task; the monotonic clock
+// is read and the sampled counters accrued once per clockTasks executions
+// (exactly at idle transitions) — no locks, no allocation.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Bands is the number of task-pool priority bands, mirrored from
+// internal/task (obs must stay a leaf package; the dgr facade's wiring
+// fails to compile if the two constants ever diverge).
+const Bands = 4
+
+// BandNames labels the bands, lowest to highest, matching internal/task's
+// BandReserve..BandMarking order.
+var BandNames = [Bands]string{"reserve", "eager", "vital", "marking"}
+
+// Options sizes the layer's bounded buffers. Zero values get defaults.
+type Options struct {
+	// PEs is the number of processing elements (required, ≥1).
+	PEs int
+	// Parallel tells the layer whether PE goroutines run concurrently
+	// (gates which goroutine may flush per-PE batch spans).
+	Parallel bool
+	// SpanCapacity bounds the span ring (default 4096).
+	SpanCapacity int
+	// FlightCapacity bounds each flight-recorder shard (default 1024).
+	FlightCapacity int
+	// SeriesCapacity bounds each time-series ring (default 512 samples).
+	SeriesCapacity int
+	// SampleEvery is the parallel-mode sampling period (default 5ms).
+	SampleEvery time.Duration
+	// KindNames maps numeric task-kind values to names for flight-recorder
+	// dumps (index = kind value). Unknown kinds render as "kind(N)".
+	KindNames []string
+	// Sources supplies the live machine state the sampler and exposition
+	// read. Individual funcs may be nil (their series read as zero).
+	Sources Sources
+}
+
+// Sources are closures over the machine the layer observes. obs is a leaf
+// package, so the scheduler, store, and fabric are reached only through
+// these.
+type Sources struct {
+	// QueueDepths returns PE pe's pool depth per priority band.
+	QueueDepths func(pe int) [Bands]int
+	// FreeOf returns the free-vertex count of partition part.
+	FreeOf func(part int) int
+	// FreeTotal returns |F| and Heap returns |V|.
+	FreeTotal func() int
+	Heap      func() int
+	// Inflight returns queued+executing tasks; InTransit those inside the
+	// fabric.
+	Inflight  func() int64
+	InTransit func() int64
+	// Cycles returns completed collector cycles; Deadlocked the number of
+	// vertices reported deadlocked.
+	Cycles     func() int64
+	Deadlocked func() int
+}
+
+// Span is one completed timed operation. Start and Dur are nanoseconds on
+// the layer's monotonic clock (Start is since New).
+type Span struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	TID   int    `json:"tid"`
+	Start int64  `json:"start"`
+	Dur   int64  `json:"dur"`
+	N     int64  `json:"n,omitempty"` // operation count (tasks in a batch, …)
+}
+
+// Well-known span TIDs for non-PE actors.
+const (
+	TIDCollector = -1
+	TIDFabric    = -2
+)
+
+// peSlot is one PE's hot-path accounting. Only PE pe's goroutine writes the
+// plain fields; the sampler reads the atomics. Padded so neighboring PEs
+// never share a cache line.
+type peSlot struct {
+	last       int64 // clock at the previous accrual (or idle-resume TaskStart)
+	idle       bool  // next TaskStart must re-read the clock
+	pending    int32 // executions since the previous accrual
+	batchStart int64 // clock at the batch's first task
+	batchN     int64 // tasks executed in the open batch
+	busyNs     atomic.Int64
+	execs      atomic.Int64
+	_          [80]byte
+}
+
+// maxBatchSpan splits an open per-PE execution batch so a long busy period
+// still produces periodic spans instead of one giant one.
+const maxBatchSpan = 10 * time.Millisecond
+
+// clockTasks is how many task executions share one clock read in the steady
+// state. Busy-time and execution counters accrue exactly at every idle
+// transition and safe point, and within clockTasks-1 executions otherwise.
+const clockTasks = 32
+
+// Obs is the observability hub. Use New; a nil *Obs is the disabled layer
+// and every method is a cheap no-op on it.
+type Obs struct {
+	opts  Options
+	epoch time.Time
+
+	slots []peSlot
+
+	spanMu   sync.Mutex
+	spans    []Span
+	spanNext uint64
+
+	flight *Flight
+	series *series
+
+	samplerStop chan struct{}
+	samplerWG   sync.WaitGroup
+}
+
+// New builds the layer. It does not start the sampler goroutine; call
+// StartSampler in parallel mode (deterministic machines sample at collector
+// cycle ends instead).
+func New(opts Options) *Obs {
+	if opts.PEs < 1 {
+		opts.PEs = 1
+	}
+	if opts.SpanCapacity <= 0 {
+		opts.SpanCapacity = 4096
+	}
+	if opts.FlightCapacity <= 0 {
+		opts.FlightCapacity = 1024
+	}
+	if opts.SeriesCapacity <= 0 {
+		opts.SeriesCapacity = 512
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 5 * time.Millisecond
+	}
+	o := &Obs{
+		opts:   opts,
+		epoch:  time.Now(),
+		slots:  make([]peSlot, opts.PEs),
+		spans:  make([]Span, opts.SpanCapacity),
+		flight: newFlight(opts.PEs, opts.FlightCapacity, opts.KindNames),
+	}
+	for i := range o.slots {
+		o.slots[i].idle = true
+	}
+	o.series = newSeries(o, opts.PEs, opts.SeriesCapacity)
+	return o
+}
+
+// Now returns nanoseconds on the layer's monotonic clock (0 for nil).
+func (o *Obs) Now() int64 {
+	if o == nil {
+		return 0
+	}
+	return int64(time.Since(o.epoch))
+}
+
+// PEs returns the PE count the layer was built for (0 for nil).
+func (o *Obs) PEs() int {
+	if o == nil {
+		return 0
+	}
+	return o.opts.PEs
+}
+
+// Span records a completed span that began at start (a prior Now value);
+// the duration is measured to the current clock. n is an optional
+// operation count.
+func (o *Obs) Span(name, cat string, tid int, start, n int64) {
+	if o == nil {
+		return
+	}
+	o.spanMu.Lock()
+	o.spans[o.spanNext%uint64(len(o.spans))] = Span{
+		Name: name, Cat: cat, TID: tid, Start: start, Dur: o.Now() - start, N: n,
+	}
+	o.spanNext++
+	o.spanMu.Unlock()
+}
+
+// Spans returns the retained spans in recording order.
+func (o *Obs) Spans() []Span {
+	if o == nil {
+		return nil
+	}
+	o.spanMu.Lock()
+	defer o.spanMu.Unlock()
+	n := uint64(len(o.spans))
+	start := uint64(0)
+	if o.spanNext > n {
+		start = o.spanNext - n
+	}
+	out := make([]Span, 0, o.spanNext-start)
+	for i := start; i < o.spanNext; i++ {
+		out = append(out, o.spans[i%n])
+	}
+	return out
+}
+
+// TaskStart marks the beginning of a task execution on PE pe. Steady-state
+// hot path: one branch. The clock is only read when the PE resumes from
+// idle (or from a flushed safe point); otherwise the previous TaskEnd's
+// timestamp doubles as this task's start, charging the scheduler's pop
+// overhead to busy time — the honest reading for a utilization metric.
+func (o *Obs) TaskStart(pe int) {
+	if o == nil {
+		return
+	}
+	s := &o.slots[pe]
+	if s.idle {
+		s.last = o.Now()
+		s.idle = false
+	}
+}
+
+// TaskEnd marks the end of a task execution on PE pe: it counts the task
+// into the open execution-batch span, and appends an execution event (the
+// task's numeric kind and endpoints) to the flight recorder. Steady-state
+// hot path: a few plain single-writer fields plus one lock-free ring write;
+// the clock is read and the busy/exec atomics accrued once per clockTasks
+// executions (and exactly at every idle transition), so Execs/BusyNs lag
+// live execution by at most clockTasks-1 tasks. Kind values are named in
+// dumps via Options.KindNames.
+func (o *Obs) TaskEnd(pe int, kind uint8, src, dst uint64) {
+	if o == nil {
+		return
+	}
+	s := &o.slots[pe]
+	if s.batchN == 0 {
+		s.batchStart = s.last
+	}
+	s.batchN++
+	s.pending++
+	if s.pending >= clockTasks {
+		o.accrue(s)
+		if s.last-s.batchStart >= int64(maxBatchSpan) {
+			o.flushBatch(pe)
+		}
+	}
+	o.flight.noteExec(pe, s.last, kind, src, dst)
+}
+
+// accrue reads the clock and folds the pending executions into the sampled
+// busy-time and execution counters. Caller must be slot s's single writer.
+func (o *Obs) accrue(s *peSlot) {
+	now := o.Now()
+	s.busyNs.Add(now - s.last)
+	s.execs.Add(int64(s.pending))
+	s.pending = 0
+	s.last = now
+}
+
+// PEIdle marks PE pe transitioning to idle (its pool drained): pending
+// busy time and execution counts accrue exactly, the open execution batch,
+// if any, is closed into a span, and the next TaskStart re-reads the clock
+// so the wait is not charged as busy time. Must be called from PE pe's own
+// goroutine.
+func (o *Obs) PEIdle(pe int) {
+	if o == nil {
+		return
+	}
+	s := &o.slots[pe]
+	if s.pending > 0 {
+		o.accrue(s)
+	}
+	o.flushBatch(pe)
+	s.idle = true
+}
+
+// flushBatch closes PE pe's open execution batch into a span. Caller must
+// be the only writer of pe's slot (PE goroutine, or the single driver
+// thread in deterministic mode).
+func (o *Obs) flushBatch(pe int) {
+	s := &o.slots[pe]
+	if s.batchN == 0 {
+		return
+	}
+	o.Span("pe-batch", "sched", pe, s.batchStart, s.batchN)
+	s.batchN = 0
+}
+
+// FlushBatches closes every PE's open batch and marks the PEs idle (the
+// time until their next task is not execution). Only safe when no PE is
+// executing (deterministic safe point, or after Stop in parallel mode).
+func (o *Obs) FlushBatches() {
+	if o == nil {
+		return
+	}
+	for pe := range o.slots {
+		s := &o.slots[pe]
+		if s.pending > 0 {
+			o.accrue(s)
+		}
+		o.flushBatch(pe)
+		s.idle = true
+	}
+}
+
+// BusyNs returns PE pe's accumulated execution time. Between accrual points
+// it lags live execution by up to clockTasks-1 tasks; every idle transition
+// and FlushBatches safe point makes it exact.
+func (o *Obs) BusyNs(pe int) int64 {
+	if o == nil {
+		return 0
+	}
+	return o.slots[pe].busyNs.Load()
+}
+
+// Execs returns PE pe's execution count, with the same accrual lag as
+// BusyNs.
+func (o *Obs) Execs(pe int) int64 {
+	if o == nil {
+		return 0
+	}
+	return o.slots[pe].execs.Load()
+}
+
+// Event appends a non-execution event to the flight recorder (TIDCollector
+// events get their own shard; everything else shares the fabric's). note
+// should be preformatted; these events are rare enough that an allocation
+// is acceptable.
+func (o *Obs) Event(pe int, kind string, src, dst uint64, note string) {
+	if o == nil {
+		return
+	}
+	o.flight.note(pe, o.Now(), kind, src, dst, note)
+}
+
+// FlightEvents returns the flight recorder's retained events merged across
+// shards in timestamp order.
+func (o *Obs) FlightEvents() []FlightEvent {
+	if o == nil {
+		return nil
+	}
+	return o.flight.events()
+}
+
+// StartSampler launches the sampling goroutine (parallel machines). It is
+// idempotent; Close stops it.
+func (o *Obs) StartSampler() {
+	if o == nil || o.samplerStop != nil {
+		return
+	}
+	o.samplerStop = make(chan struct{})
+	stop := o.samplerStop
+	o.samplerWG.Add(1)
+	go func() {
+		defer o.samplerWG.Done()
+		t := time.NewTicker(o.opts.SampleEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				o.SampleNow()
+			}
+		}
+	}()
+}
+
+// SampleNow takes one time-series sample immediately. Deterministic
+// machines call it at collector cycle ends; the sampler goroutine calls it
+// on its period. Safe for concurrent use.
+func (o *Obs) SampleNow() {
+	if o == nil {
+		return
+	}
+	o.series.sample()
+	if !o.opts.Parallel {
+		// Deterministic safe point: close open execution batches so span
+		// export between cycles sees them.
+		o.FlushBatches()
+	}
+}
+
+// Series returns a snapshot of the sampled time-series.
+func (o *Obs) Series() *SeriesSnap {
+	if o == nil {
+		return nil
+	}
+	return o.series.snapshot()
+}
+
+// Close stops the sampler and closes any open batch spans.
+func (o *Obs) Close() {
+	if o == nil {
+		return
+	}
+	if o.samplerStop != nil {
+		close(o.samplerStop)
+		o.samplerWG.Wait()
+		o.samplerStop = nil
+	}
+	o.FlushBatches()
+}

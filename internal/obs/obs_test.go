@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dgr/internal/metrics"
+)
+
+// TestNilSafety exercises every recording path on a nil *Obs — the disabled
+// layer must be a total no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var o *Obs
+	o.TaskStart(0)
+	o.TaskEnd(0, 1, 1, 2)
+	o.PEIdle(0)
+	o.FlushBatches()
+	o.Span("x", "y", 0, 0, 0)
+	o.Event(0, "k", 0, 0, "")
+	o.SampleNow()
+	o.StartSampler()
+	o.Close()
+	if o.Now() != 0 || o.PEs() != 0 || o.Spans() != nil || o.FlightEvents() != nil || o.Series() != nil {
+		t.Fatal("nil Obs returned non-zero data")
+	}
+	if err := o.WriteSpansJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteFlightJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanRingAndJSONL(t *testing.T) {
+	o := New(Options{PEs: 2, SpanCapacity: 4})
+	for i := 0; i < 6; i++ {
+		start := o.Now()
+		o.Span("s", "cat", i, start, int64(i))
+	}
+	spans := o.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4 (capacity)", len(spans))
+	}
+	if spans[0].TID != 2 || spans[3].TID != 5 {
+		t.Fatalf("ring kept wrong window: %+v", spans)
+	}
+
+	var buf bytes.Buffer
+	if err := o.WriteSpansJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var ev struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if ev.Ph != "X" || ev.Name != "s" {
+			t.Fatalf("bad chrome trace event: %+v", ev)
+		}
+	}
+	if lines != 4 {
+		t.Fatalf("JSONL lines = %d, want 4", lines)
+	}
+}
+
+func TestTaskAccounting(t *testing.T) {
+	o := New(Options{PEs: 2})
+	for i := 0; i < 5; i++ {
+		o.TaskStart(1)
+		o.TaskEnd(1, 1, uint64(i), uint64(i+1))
+	}
+	// The batch is still open: no pe-batch span until idle.
+	for _, s := range o.Spans() {
+		if s.Name == "pe-batch" {
+			t.Fatal("batch span recorded before PEIdle")
+		}
+	}
+	o.PEIdle(1) // accrual point: counters become exact
+	if o.Execs(1) != 5 {
+		t.Fatalf("Execs = %d, want 5", o.Execs(1))
+	}
+	if o.Execs(0) != 0 {
+		t.Fatalf("PE 0 executed nothing but Execs = %d", o.Execs(0))
+	}
+	if o.BusyNs(1) < 0 {
+		t.Fatalf("negative busy time %d", o.BusyNs(1))
+	}
+	found := false
+	for _, s := range o.Spans() {
+		if s.Name == "pe-batch" && s.TID == 1 && s.N == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no pe-batch span with 5 tasks after PEIdle; spans: %+v", o.Spans())
+	}
+	// Idle with no open batch records nothing new.
+	n := len(o.Spans())
+	o.PEIdle(1)
+	if len(o.Spans()) != n {
+		t.Fatal("empty batch flushed into a span")
+	}
+}
+
+func TestFlightRecorder(t *testing.T) {
+	o := New(Options{PEs: 2, FlightCapacity: 8, KindNames: []string{"", "demand"}})
+	o.Event(TIDCollector, "cycle.start", 0, 0, "n=1")
+	for i := 0; i < 12; i++ { // overflow PE 0's shard
+		o.TaskStart(0)
+		o.TaskEnd(0, 1, uint64(i), uint64(i+100))
+	}
+	o.Event(TIDFabric, "fab.flush", 0, 0, "seq=1")
+	evs := o.FlightEvents()
+	// PE 0's shard retains the last 8 execs; the other shards keep their one
+	// event each.
+	var execs, coll, fab int
+	for _, e := range evs {
+		switch {
+		case e.Kind == "demand":
+			execs++
+		case e.PE == TIDCollector:
+			coll++
+		case e.PE == TIDFabric:
+			fab++
+		}
+	}
+	if execs != 8 || coll != 1 || fab != 1 {
+		t.Fatalf("execs=%d coll=%d fab=%d, want 8/1/1", execs, coll, fab)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatal("flight events not merged in timestamp order")
+		}
+	}
+	var buf bytes.Buffer
+	if err := o.WriteFlightJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(evs) {
+		t.Fatalf("JSONL lines = %d, want %d", got, len(evs))
+	}
+}
+
+func TestSeriesSamplingAndQuantiles(t *testing.T) {
+	depth := 0
+	o := New(Options{
+		PEs:            1,
+		SeriesCapacity: 4,
+		Sources: Sources{
+			QueueDepths: func(pe int) [Bands]int { return [Bands]int{depth, 0, 0, 0} },
+			FreeOf:      func(part int) int { return 10 },
+			FreeTotal:   func() int { return 10 },
+			Heap:        func() int { return 20 },
+			Inflight:    func() int64 { return 3 },
+			Cycles:      func() int64 { return 7 },
+		},
+	})
+	for i := 0; i < 6; i++ { // wrap the 4-sample ring
+		depth = i * 10
+		o.SampleNow()
+	}
+	snap := o.Series()
+	if len(snap.PE[0]) != 4 || len(snap.Mach) != 4 {
+		t.Fatalf("retained %d/%d samples, want 4", len(snap.PE[0]), len(snap.Mach))
+	}
+	// Oldest retained sample is i=2 (depth 20), newest i=5 (depth 50).
+	if snap.PE[0][0].Bands[0] != 20 || snap.PE[0][3].Bands[0] != 50 {
+		t.Fatalf("ring window wrong: %+v", snap.PE[0])
+	}
+	sum := snap.Summary[0]
+	if sum.Samples != 4 || sum.DepthMax != 50 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.DepthP50 != 30 || sum.DepthP95 != 50 {
+		t.Fatalf("quantiles p50=%d p95=%d, want 30/50", sum.DepthP50, sum.DepthP95)
+	}
+	if snap.Mach[3].Inflight != 3 || snap.Mach[3].Cycles != 7 || snap.Mach[3].Heap != 20 {
+		t.Fatalf("machine sample = %+v", snap.Mach[3])
+	}
+}
+
+func TestSamplerGoroutine(t *testing.T) {
+	o := New(Options{PEs: 1, Parallel: true, SampleEvery: time.Millisecond})
+	o.StartSampler()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(o.Series().Mach) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler produced no samples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	o.Close()
+	n := len(o.Series().Mach)
+	time.Sleep(5 * time.Millisecond)
+	if len(o.Series().Mach) != n {
+		t.Fatal("sampler still running after Close")
+	}
+}
+
+// TestConcurrentRecording drives every shard concurrently under -race.
+func TestConcurrentRecording(t *testing.T) {
+	o := New(Options{PEs: 4, Parallel: true})
+	var wg sync.WaitGroup
+	for pe := 0; pe < 4; pe++ {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				o.TaskStart(pe)
+				o.TaskEnd(pe, 1, uint64(i), uint64(i))
+				if i%100 == 0 {
+					o.PEIdle(pe)
+				}
+			}
+			o.PEIdle(pe)
+		}(pe)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			o.Event(TIDCollector, "cycle", 0, 0, "")
+			o.Span("M_R", "collector", TIDCollector, o.Now(), 1)
+			o.series.sample()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			o.Series()
+			o.FlightEvents()
+			o.Spans()
+		}
+	}()
+	wg.Wait()
+	total := int64(0)
+	for pe := 0; pe < 4; pe++ {
+		total += o.Execs(pe)
+	}
+	if total != 2000 {
+		t.Fatalf("execs = %d, want 2000", total)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var hist metrics.Counters
+	hist.FabricLatency.Observe(3)
+	hist.FabricLatency.Observe(100)
+	s := hist.Snapshot()
+	s.TasksExecuted = 42
+	s.FabricSent = 2
+
+	var buf bytes.Buffer
+	err := WritePrometheus(&buf, PromData{
+		Stats:       s,
+		PEs:         2,
+		Heap:        100,
+		Free:        60,
+		FreePerPart: []int{30, 30},
+		Inflight:    5,
+		PoolBands:   [][Bands]int{{1, 0, 2, 0}, {0, 0, 0, 3}},
+		Utils:       []float64{0.5, 0.25},
+		ExecsPerPE:  []int64{21, 21},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dgr_tasks_executed_total 42",
+		"dgr_free_vertices 60",
+		`dgr_partition_free_vertices{part="1"} 30`,
+		`dgr_pe_queue_depth{pe="0",band="vital"} 2`,
+		`dgr_pe_queue_depth{pe="1",band="marking"} 3`,
+		`dgr_pe_utilization{pe="1"} 0.250000`,
+		`dgr_pe_tasks_executed_total{pe="0"} 21`,
+		"dgr_fabric_latency_us_count 2",
+		"# TYPE dgr_tasks_executed_total counter",
+		"# TYPE dgr_inflight_tasks gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+	// Histogram buckets must be cumulative.
+	if !strings.Contains(out, `dgr_fabric_latency_us_bucket{le="+Inf"} 2`) {
+		t.Error("histogram +Inf bucket wrong")
+	}
+}

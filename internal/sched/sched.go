@@ -30,6 +30,7 @@ import (
 	"dgr/internal/fabric"
 	"dgr/internal/graph"
 	"dgr/internal/metrics"
+	"dgr/internal/obs"
 	"dgr/internal/task"
 )
 
@@ -82,6 +83,11 @@ type Config struct {
 	// pump and Stop closes it (parallel mode). The fabric's mode and seed
 	// must match the machine's.
 	Fabric *fabric.Fabric
+
+	// Obs, when non-nil, receives per-execution timing, batch spans, and
+	// idle transitions. Every call is a nil-safe no-op when unset, so the
+	// hot path pays one pointer test for the disabled layer.
+	Obs *obs.Obs
 
 	// OnSpawn, when set, observes every task entering the machine (before
 	// routing). It must be fast and must not call back into the Machine;
@@ -299,7 +305,9 @@ func (m *Machine) execute(pe int, t task.Task) {
 	slot.t = t
 	slot.valid = true
 	slot.mu.Unlock()
+	m.cfg.Obs.TaskStart(pe)
 	m.handler.Handle(t)
+	m.cfg.Obs.TaskEnd(pe, uint8(t.Kind), uint64(t.Src), uint64(t.Dst))
 	slot.mu.Lock()
 	slot.valid = false
 	slot.mu.Unlock()
@@ -492,10 +500,16 @@ func (m *Machine) Start() {
 
 func (m *Machine) peLoop(i int) {
 	defer m.wg.Done()
+	o := m.cfg.Obs
 	for {
-		t, ok := m.pools[i].PopWait()
+		t, ok := m.pools[i].TryPop()
 		if !ok {
-			return
+			// About to block: close the open execution-batch span so the
+			// trace shows the busy interval ending here, then wait.
+			o.PEIdle(i)
+			if t, ok = m.pools[i].PopWait(); !ok {
+				return
+			}
 		}
 		m.execute(i, t)
 	}

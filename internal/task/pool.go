@@ -85,6 +85,18 @@ func (p *Pool) Len() int {
 	return p.n
 }
 
+// BandLens returns the queued-task count per priority band, lowest band
+// first. One lock acquisition; used by the observability sampler.
+func (p *Pool) BandLens() [NumBands]int {
+	var out [NumBands]int
+	p.mu.Lock()
+	for b := range p.bands {
+		out[b] = p.bands[b].len()
+	}
+	p.mu.Unlock()
+	return out
+}
+
 // TryPop removes and returns the highest-band task, FIFO within a band.
 func (p *Pool) TryPop() (Task, bool) {
 	p.mu.Lock()

@@ -47,6 +47,10 @@ var kindNames = [...]string{
 	Return: "return",
 }
 
+// KindNameTable returns a copy of the kind-name table indexed by numeric
+// Kind value, for observers that record kinds as raw bytes.
+func KindNameTable() []string { return append([]string(nil), kindNames[:]...) }
+
 // String returns the task kind name.
 func (k Kind) String() string {
 	if int(k) < len(kindNames) && kindNames[k] != "" {
@@ -72,6 +76,9 @@ const (
 	BandMarking
 	numBands
 )
+
+// NumBands is the number of priority bands a pool schedules over.
+const NumBands = int(numBands)
 
 // Task is an unexecuted task <s,d>. The zero value is invalid.
 type Task struct {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"dgr/internal/graph"
 )
@@ -16,6 +17,7 @@ import (
 // Event is one recorded occurrence.
 type Event struct {
 	Seq  uint64         `json:"seq"`
+	TS   int64          `json:"ts,omitempty"` // wall-clock UnixNano at Record time
 	Kind string         `json:"kind"`
 	Src  graph.VertexID `json:"src"`
 	Dst  graph.VertexID `json:"dst"`
@@ -46,11 +48,13 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{ring: make([]Event, capacity)}
 }
 
-// Record appends an event.
+// Record appends an event, stamping it with the current wall-clock time so
+// exported timelines correlate with external logs.
 func (t *Tracer) Record(kind string, src, dst graph.VertexID, note string) {
+	now := time.Now().UnixNano()
 	t.mu.Lock()
 	t.ring[t.next%uint64(len(t.ring))] = Event{
-		Seq: t.next, Kind: kind, Src: src, Dst: dst, Note: note,
+		Seq: t.next, TS: now, Kind: kind, Src: src, Dst: dst, Note: note,
 	}
 	t.next++
 	t.mu.Unlock()
@@ -90,6 +94,18 @@ func (t *Tracer) Len() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.next
+}
+
+// Dropped returns how many events have been overwritten by ring wraparound —
+// the count no longer retrievable via Events. Lets consumers report "showing
+// last N of M" honestly.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := uint64(len(t.ring)); t.next > n {
+		return t.next - n
+	}
+	return 0
 }
 
 // DOTOptions controls snapshot rendering.

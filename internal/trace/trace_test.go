@@ -25,6 +25,53 @@ func TestTracerRing(t *testing.T) {
 	}
 }
 
+func TestTracerDropped(t *testing.T) {
+	tr := NewTracer(3)
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped on fresh tracer = %d, want 0", tr.Dropped())
+	}
+	for i := 0; i < 3; i++ {
+		tr.Record("step", 0, 0, "")
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped at exactly capacity = %d, want 0", tr.Dropped())
+	}
+	for i := 0; i < 4; i++ {
+		tr.Record("step", 0, 0, "")
+	}
+	if tr.Dropped() != 4 {
+		t.Fatalf("Dropped after wraparound = %d, want 4", tr.Dropped())
+	}
+	// Dropped + retained always equals Len.
+	if got := tr.Dropped() + uint64(len(tr.Events())); got != tr.Len() {
+		t.Fatalf("dropped+retained = %d, Len = %d", got, tr.Len())
+	}
+}
+
+func TestTracerTimestamps(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record("a", 1, 2, "")
+	tr.Record("b", 2, 3, "")
+	evs := tr.Events()
+	if evs[0].TS == 0 || evs[1].TS == 0 {
+		t.Fatalf("events missing wall-clock stamps: %+v", evs)
+	}
+	if evs[1].TS < evs[0].TS {
+		t.Fatalf("timestamps went backwards: %d then %d", evs[0].TS, evs[1].TS)
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(strings.SplitN(sb.String(), "\n", 2)[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.TS != evs[0].TS {
+		t.Fatalf("JSONL ts = %d, want %d", e.TS, evs[0].TS)
+	}
+}
+
 func TestTracerEventString(t *testing.T) {
 	e := Event{Seq: 1, Kind: "mark", Src: 2, Dst: 3, Note: "x"}
 	if got := e.String(); got != "#1 mark <2,3> x" {
@@ -70,6 +117,46 @@ func TestWriteDOT(t *testing.T) {
 	// Free vertices hidden by default.
 	if strings.Contains(out, "free") {
 		t.Error("free vertices should be hidden")
+	}
+}
+
+// TestWriteDOTGolden pins the exact DOT rendering of a small fixed graph:
+// any drift in node attributes, edge styles, or emission order shows up as
+// a diff here rather than as silently garbled graph dumps.
+func TestWriteDOTGolden(t *testing.T) {
+	s := graph.NewStore(graph.Config{Partitions: 1, Capacity: 8})
+	b := graph.NewBuilder(s, 0)
+	one := b.Int(1)
+	two := b.Int(2)
+	app := b.App(b.App(b.Prim(graph.PrimAdd), one), two)
+	app.Lock()
+	app.SetReqKind(two.ID, graph.ReqVital)
+	app.Unlock()
+	two.Lock()
+	two.AddRequester(app.ID, graph.ReqVital)
+	two.Unlock()
+
+	var sb strings.Builder
+	if err := WriteDOT(&sb, s.Snapshot(), app.ID, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `digraph computation {
+  rankdir=TB;
+  node [shape=circle fontsize=10];
+  v4 [label="@" penwidth=2 shape=doublecircle];
+  v5 [label="@"];
+  v6 [label="+"];
+  v7 [label="2"];
+  v8 [label="1"];
+  v4 -> v5;
+  v4 -> v7 [label="*v" penwidth=2];
+  v5 -> v6;
+  v5 -> v8;
+  v4 -> v7 [style=dotted constraint=false];
+}
+`
+	if got := sb.String(); got != golden {
+		t.Fatalf("DOT output drifted from golden.\ngot:\n%s\nwant:\n%s", got, golden)
 	}
 }
 

@@ -1,0 +1,231 @@
+package dgr_test
+
+// Integration tests for the observability layer through the public facade:
+// collector-phase spans land in the chrome trace export, the exposition
+// endpoints render non-empty, an ErrDeadlock auto-dumps the flight recorder,
+// and — critically — enabling obs does not perturb the deterministic
+// schedule.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dgr"
+)
+
+func TestObsSpansAndExposition(t *testing.T) {
+	m := dgr.New(dgr.Options{
+		PEs:        2,
+		Seed:       42,
+		Capacity:   1 << 14,
+		MTEvery:    1,
+		GCInterval: 500, // force collector cycles to interleave with the eval
+		Obs:        true,
+	})
+	defer m.Close()
+	v, err := m.Eval(`let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 10`)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if v.Int != 55 {
+		t.Fatalf("fib 10 = %v, want 55", v)
+	}
+
+	var spans bytes.Buffer
+	if err := m.WriteSpansJSONL(&spans); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(&spans)
+	for sc.Scan() {
+		var ev struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("span line not JSON: %v", err)
+		}
+		if ev.Ph != "X" {
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		seen[ev.Name] = true
+	}
+	for _, want := range []string{"M_R", "M_T", "restructure", "sweep", "cycle", "pe-batch"} {
+		if !seen[want] {
+			t.Errorf("no %q span in trace export; saw %v", want, seen)
+		}
+	}
+
+	var prom bytes.Buffer
+	if err := m.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"dgr_tasks_executed_total",
+		"dgr_gc_cycles_total",
+		`dgr_pe_queue_depth{pe="1",band="marking"}`,
+		"dgr_heap_vertices",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+
+	var snap bytes.Buffer
+	if err := m.WriteSnapshotJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Heap       int     `json:"heap"`
+		Cycles     int64   `json:"cycles"`
+		Executions uint64  `json:"executions"`
+		ExecsPerPE []int64 `json:"execs_per_pe"`
+		Series     *struct {
+			Mach []json.RawMessage `json:"mach"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(snap.Bytes(), &got); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if got.Heap == 0 || got.Cycles == 0 || got.Executions == 0 {
+		t.Fatalf("snapshot looks empty: %+v", got)
+	}
+	var execs int64
+	for _, n := range got.ExecsPerPE {
+		execs += n
+	}
+	if uint64(execs) != got.Executions {
+		t.Errorf("per-PE execs sum %d != machine executions %d", execs, got.Executions)
+	}
+	// Deterministic machines sample at each cycle end.
+	if got.Series == nil || len(got.Series.Mach) == 0 {
+		t.Error("no time-series samples after collector cycles")
+	}
+
+	var flight bytes.Buffer
+	if err := m.WriteFlightJSONL(&flight); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(flight.String(), `"kind":"cycle.start"`) ||
+		!strings.Contains(flight.String(), `"kind":"demand"`) {
+		t.Error("flight recorder missing collector or execution events")
+	}
+
+	var dot bytes.Buffer
+	if err := m.WriteGraphDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph computation") {
+		t.Error("graph DOT export empty")
+	}
+}
+
+// TestObsScheduleUnchanged asserts that turning the observability layer on
+// reproduces the exact golden schedule digest of an uninstrumented run: the
+// instrumentation observes the machine without steering it.
+func TestObsScheduleUnchanged(t *testing.T) {
+	m := dgr.New(dgr.Options{
+		PEs:            4,
+		Seed:           42,
+		Capacity:       1 << 14,
+		RecordSchedule: true,
+		Obs:            true,
+	})
+	defer m.Close()
+	got := digestEval(t, m, detFib, 144)
+	if want := goldenSchedules["seed=42/pes=4"]; got != want {
+		t.Fatalf("schedule digest with obs on = %s, want golden %s", got, want)
+	}
+}
+
+func TestObsFlightDumpOnDeadlock(t *testing.T) {
+	dir := t.TempDir()
+	m := dgr.New(dgr.Options{
+		PEs:          2,
+		Seed:         1,
+		Capacity:     1 << 12,
+		MTEvery:      1,
+		ObsFlightDir: dir, // implies Obs
+	})
+	defer m.Close()
+	_, err := m.Eval(`let x = x + 1 in x`)
+	if !errors.Is(err, dgr.ErrDeadlock) {
+		t.Fatalf("eval err = %v, want ErrDeadlock", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "dgr-flight-deadlock-*.jsonl"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("flight dump files = %v (err %v), want exactly one", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"cycle.start"`) {
+		t.Errorf("dump missing collector events:\n%.400s", data)
+	}
+	if !strings.Contains(string(data), `"kind":"demand"`) {
+		t.Errorf("dump missing scheduler execution events:\n%.400s", data)
+	}
+}
+
+func TestObsParallelSmoke(t *testing.T) {
+	m := dgr.New(dgr.Options{
+		PEs:      4,
+		Parallel: true,
+		Fabric:   true,
+		Obs:      true,
+	})
+	defer m.Close()
+	v, err := m.Eval(`let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 15`)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if v.Int != 610 {
+		t.Fatalf("fib 15 = %v, want 610", v)
+	}
+	var snap bytes.Buffer
+	if err := m.WriteSnapshotJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Executions uint64 `json:"executions"`
+	}
+	if err := json.Unmarshal(snap.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Executions == 0 {
+		t.Fatal("parallel machine reported zero executions")
+	}
+}
+
+func TestObsDisabledSurface(t *testing.T) {
+	m := dgr.New(dgr.Options{PEs: 1})
+	defer m.Close()
+	if _, err := m.Eval(`1 + 1`); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for name, fn := range map[string]func() error{
+		"spans":  func() error { return m.WriteSpansJSONL(&buf) },
+		"flight": func() error { return m.WriteFlightJSONL(&buf) },
+		"prom":   func() error { return m.WritePrometheus(&buf) },
+		"snap":   func() error { return m.WriteSnapshotJSON(&buf) },
+	} {
+		if err := fn(); err == nil {
+			t.Errorf("%s: no error with obs disabled", name)
+		}
+	}
+	if m.ObsSeries() != nil {
+		t.Error("ObsSeries non-nil with obs disabled")
+	}
+	// The graph DOT export does not need the obs layer.
+	if err := m.WriteGraphDOT(&buf); err != nil {
+		t.Errorf("WriteGraphDOT: %v", err)
+	}
+}
