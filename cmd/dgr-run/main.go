@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"dgr"
+	"dgr/internal/serve"
 	"dgr/internal/workload"
 )
 
@@ -105,14 +107,18 @@ func run() error {
 	})
 	defer m.Close()
 
+	ctx, stopSignals := serve.SignalContext(context.Background())
+	defer stopSignals()
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return fmt.Errorf("-http: %w", err)
 		}
-		defer ln.Close()
 		fmt.Printf("serving observability on http://%s\n", ln.Addr())
-		go http.Serve(ln, obsMux(m)) //nolint:errcheck // dies with the process
+		stopHTTP := serve.StartHTTP(ln, obsMux(m), func(err error) {
+			fmt.Fprintln(os.Stderr, "dgr-run: -http:", err)
+		})
+		defer stopHTTP(2 * time.Second)
 	}
 
 	start := time.Now()
@@ -122,8 +128,12 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "dgr-run: -spans:", werr)
 	}
 	if *httpAddr != "" && *linger > 0 {
-		fmt.Printf("lingering %s for scrapes...\n", *linger)
-		time.Sleep(*linger)
+		fmt.Printf("lingering %s for scrapes (SIGINT to stop early)...\n", *linger)
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+			fmt.Println("interrupted; shutting down")
+		}
 	}
 	if err != nil {
 		if dead := m.Deadlocked(); len(dead) > 0 {

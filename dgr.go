@@ -221,7 +221,9 @@ type Machine struct {
 	// the checker's OnViolation hook, hence the atomic).
 	flightOnce sync.Once
 	flightPath atomic.Value
-	closed     bool
+	// closed is atomic so a machine pool (internal/serve) can race Close
+	// against exposition reads without a data race; the first Close wins.
+	closed atomic.Bool
 }
 
 // New builds a machine. Parallel machines start their PEs and collector
@@ -406,12 +408,12 @@ func (m *Machine) FlightDumpPath() string {
 }
 
 // Close stops the PEs and the collector of a parallel machine. It is
-// idempotent.
+// idempotent (and safe to race from multiple goroutines: one closer wins,
+// the rest return immediately).
 func (m *Machine) Close() {
-	if m.closed {
+	if !m.closed.CompareAndSwap(false, true) {
 		return
 	}
-	m.closed = true
 	if m.opts.Parallel {
 		m.collector.Stop()
 		if m.checker != nil {
@@ -432,7 +434,7 @@ func (m *Machine) Close() {
 
 // Compile translates a program to a combinator graph and returns its root.
 func (m *Machine) Compile(src string) (NodeID, error) {
-	if m.closed {
+	if m.closed.Load() {
 		return 0, ErrClosed
 	}
 	v, err := lang.CompileString(m.store, src)
@@ -466,7 +468,7 @@ func (m *Machine) Eval(src string) (Value, error) {
 // EvalNode evaluates an existing graph node to WHNF, running the collector
 // alongside the reduction.
 func (m *Machine) EvalNode(root NodeID) (Value, error) {
-	if m.closed {
+	if m.closed.Load() {
 		return Value{}, ErrClosed
 	}
 	m.collector.SetRoot(root)
@@ -633,6 +635,10 @@ func (m *Machine) Pump(max int) int {
 
 // Quiescent reports whether no tasks are queued or executing.
 func (m *Machine) Quiescent() bool { return m.mach.Inflight() == 0 }
+
+// InflightTasks reports the number of queued-plus-executing tasks (the
+// live gauge the serving layer's pooled exposition aggregates).
+func (m *Machine) InflightTasks() int64 { return m.mach.Inflight() }
 
 // DemandNode spawns the initial <-,root> task and returns the channel that
 // will receive the WHNF value — without driving the machine (harness hook;
@@ -840,7 +846,7 @@ func (m *Machine) WriteScheduleJSONL(w io.Writer) error {
 // run. It returns the first divergence as an error; a clean replay of a
 // violating run reproduces the violation (see CheckErr) at the same step.
 func (m *Machine) ReplaySchedule(root NodeID, events []check.Event) error {
-	if m.closed {
+	if m.closed.Load() {
 		return ErrClosed
 	}
 	if m.opts.Parallel {

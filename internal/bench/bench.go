@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dgr"
+	"dgr/internal/serve"
 	"dgr/internal/workload"
 )
 
@@ -50,6 +51,15 @@ type Result struct {
 	// by virtue of rerunning the whole pass, so a nonzero value flags the
 	// numbers as slightly inflated.
 	Retries int `json:"retries,omitempty"`
+
+	// ReqPerSec, P50Ns, P95Ns and CacheHitRate are filled only by the
+	// serve_throughput cases: end-to-end request rate through the serving
+	// layer, client-observed latency quantiles, and the fraction of
+	// successful requests answered from the memo cache.
+	ReqPerSec    float64 `json:"req_per_sec,omitempty"`
+	P50Ns        int64   `json:"p50_ns,omitempty"`
+	P95Ns        int64   `json:"p95_ns,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // Report is the full suite output.
@@ -288,6 +298,24 @@ func Run(quick bool) (Report, error) {
 		rep.Results = append(rep.Results, res)
 	}
 
+	// Serving-layer throughput: 4 tenants × 2 streams driving the
+	// in-process pool. The cold case evaluates every program once; the
+	// warm case runs two rounds so the second is answered from the memo
+	// cache — its hit rate and latency quantiles land in the report.
+	for _, c := range []struct {
+		name   string
+		rounds int
+	}{
+		{"serve_throughput/cold", 1},
+		{"serve_throughput/warm", 2},
+	} {
+		res, err := serveCase(c.name, c.rounds, quick)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+
 	// One GC cycle over a live heap.
 	mach := dgr.New(dgr.Options{PEs: 4, Seed: 1, Capacity: 1 << 16})
 	defer mach.Close()
@@ -308,6 +336,50 @@ func Run(quick bool) (Report, error) {
 	rep.Results = append(rep.Results, toResult("gc-cycle", 4, false, m))
 
 	return rep, nil
+}
+
+// serveCase measures one serving-layer load pass and self-validates it:
+// every request must succeed, reruns must be byte-identical, and the warm
+// case must see memo-cache hits.
+func serveCase(name string, rounds int, quick bool) (Result, error) {
+	programs := 8
+	if quick {
+		programs = 4
+	}
+	s := serve.New(serve.Options{Workers: 2, PEs: 2, Capacity: 1 << 16})
+	defer s.Close()
+	rep, err := workload.RunServeLoad(workload.ServeLoadConfig{
+		Tenants:     4,
+		Programs:    workload.ServePrograms(programs),
+		Rounds:      rounds,
+		Concurrency: 2,
+	}, s)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", name, err)
+	}
+	switch {
+	case rep.OK != rep.Requests:
+		return Result{}, fmt.Errorf("%s: %d of %d requests failed or were rejected",
+			name, rep.Requests-rep.OK, rep.Requests)
+	case rep.Mismatches > 0:
+		return Result{}, fmt.Errorf("%s: %d rerun(s) returned non-identical results", name, rep.Mismatches)
+	case rounds > 1 && rep.CacheHits == 0:
+		return Result{}, fmt.Errorf("%s: warm rounds produced zero memo-cache hits", name)
+	}
+	res := Result{
+		Name:       name,
+		PEs:        2,
+		Parallel:   false,
+		Iterations: int(rep.Requests),
+		NsPerOp:    rep.ElapsedNs / rep.Requests,
+		ReqPerSec:  rep.ReqPerSec,
+		P50Ns:      rep.P50Ns,
+		P95Ns:      rep.P95Ns,
+	}
+	if rep.OK > 0 {
+		res.CacheHitRate = float64(rep.CacheHits) / float64(rep.OK)
+	}
+	return res, nil
 }
 
 // toResult converts a measurement into a report row.

@@ -1,0 +1,116 @@
+package lang
+
+import (
+	"bufio"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDigestWhitespaceAndComments: sources that differ only in layout,
+// comments, or redundant parentheses parse to the same tree and therefore
+// share a digest.
+func TestDigestWhitespaceAndComments(t *testing.T) {
+	variants := []string{
+		"let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 16",
+		"let fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)\nin fib 16",
+		`-- naive fibonacci
+		let fib n =
+		      if n < 2      # base case
+		      then n
+		      else fib (n-1) + fib (n-2)
+		in fib 16`,
+		"let fib n = (if (n < 2) then n else ((fib (n-1)) + (fib (n-2)))) in (fib 16)",
+	}
+	want, err := DigestString(variants[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range variants[1:] {
+		got, err := DigestString(src)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i+1, err)
+		}
+		if got != want {
+			t.Errorf("variant %d digest = %s, want %s", i+1, got, want)
+		}
+	}
+}
+
+// TestDigestDistinguishesPrograms: structurally distinct programs — and
+// near-misses that could alias under a sloppy serialization — get distinct
+// digests.
+func TestDigestDistinguishesPrograms(t *testing.T) {
+	srcs := []string{
+		"1",
+		"2",
+		"true",
+		"false",
+		"[]",
+		"1 + 2",
+		"2 + 1",
+		"(1 + 2) * 3",
+		"1 + (2 * 3)",
+		"\\x. x",
+		"\\x y. x",
+		"\\x. \\y. x", // same combinator, different surface arity split
+		"let x = 1 in x",
+		"let x = 1; y = 1 in x",
+		"let xy = 1 in xy", // name-boundary near-miss vs the two-binding let
+		"if true then 1 else 2",
+		"if true then 2 else 1",
+		"let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 16",
+		"let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 17",
+	}
+	seen := map[string]string{}
+	for _, src := range srcs {
+		d, err := DigestString(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if prev, dup := seen[d]; dup {
+			t.Errorf("digest collision: %q and %q both hash to %s", prev, src, d)
+		}
+		seen[d] = src
+	}
+}
+
+func TestDigestParseError(t *testing.T) {
+	if _, err := DigestString("let = in"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+// TestDigestGolden pins the digest format: a changed serialization would
+// silently split the serving layer's memo cache across versions, so any
+// intentional format change must update testdata/digest.golden.
+func TestDigestGolden(t *testing.T) {
+	f, err := os.Open("testdata/digest.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		want, src, ok := strings.Cut(text, "  ")
+		if !ok {
+			t.Fatalf("digest.golden:%d: malformed line %q", line, text)
+		}
+		got, err := DigestString(src)
+		if err != nil {
+			t.Fatalf("digest.golden:%d: %v", line, err)
+		}
+		if got != want {
+			t.Errorf("digest.golden:%d: DigestString(%q) = %s, want %s", line, src, got, want)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -237,6 +237,51 @@ func (c *Counters) Diff(prev Snapshot) Snapshot {
 	return c.Snapshot().Sub(prev)
 }
 
+// Add returns the field-wise sum of two snapshots — the aggregation the
+// serving layer uses to report a machine pool as one counter set.
+// MaxPauseNs takes the maximum (a pool's worst pause, not a sum of pauses).
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	out := Snapshot{
+		TasksExecuted:   s.TasksExecuted + o.TasksExecuted,
+		ReductionTasks:  s.ReductionTasks + o.ReductionTasks,
+		MarkTasks:       s.MarkTasks + o.MarkTasks,
+		ReturnTasks:     s.ReturnTasks + o.ReturnTasks,
+		RemoteMessages:  s.RemoteMessages + o.RemoteMessages,
+		LocalMessages:   s.LocalMessages + o.LocalMessages,
+		Rewrites:        s.Rewrites + o.Rewrites,
+		Allocations:     s.Allocations + o.Allocations,
+		Reclaimed:       s.Reclaimed + o.Reclaimed,
+		Cycles:          s.Cycles + o.Cycles,
+		MTRuns:          s.MTRuns + o.MTRuns,
+		Expunged:        s.Expunged + o.Expunged,
+		Reprioritized:   s.Reprioritized + o.Reprioritized,
+		DeadlockedFound: s.DeadlockedFound + o.DeadlockedFound,
+		CoopMarks:       s.CoopMarks + o.CoopMarks,
+		MaxPauseNs:      s.MaxPauseNs,
+		TotalPauseNs:    s.TotalPauseNs + o.TotalPauseNs,
+
+		CheckRuns:       s.CheckRuns + o.CheckRuns,
+		CheckViolations: s.CheckViolations + o.CheckViolations,
+		CheckSkipped:    s.CheckSkipped + o.CheckSkipped,
+
+		FabricSent:        s.FabricSent + o.FabricSent,
+		FabricDelivered:   s.FabricDelivered + o.FabricDelivered,
+		FabricBatches:     s.FabricBatches + o.FabricBatches,
+		FabricDropped:     s.FabricDropped + o.FabricDropped,
+		FabricRetries:     s.FabricRetries + o.FabricRetries,
+		FabricDuplicates:  s.FabricDuplicates + o.FabricDuplicates,
+		FabricAcksDropped: s.FabricAcksDropped + o.FabricAcksDropped,
+		FabricExpunged:    s.FabricExpunged + o.FabricExpunged,
+	}
+	if o.MaxPauseNs > out.MaxPauseNs {
+		out.MaxPauseNs = o.MaxPauseNs
+	}
+	for i := range out.FabricLatency {
+		out.FabricLatency[i] = s.FabricLatency[i] + o.FabricLatency[i]
+	}
+	return out
+}
+
 // String renders the snapshot as a one-line summary. Fabric traffic is
 // appended only when a fabric carried messages.
 func (s Snapshot) String() string {

@@ -41,6 +41,80 @@ type PromData struct {
 	PoolBands   [][Bands]int // per-PE queue depth per band
 	Utils       []float64    // per-PE utilization (latest sample window)
 	ExecsPerPE  []int64      // per-PE cumulative executions
+
+	// Tenants, when non-empty, adds the serving layer's per-tenant series
+	// (tenant-labeled counters and gauges) to the exposition.
+	Tenants []TenantProm
+}
+
+// TenantProm is one tenant's serving-layer metric row. The serving layer
+// (internal/serve) fills these from its admission and cache accounting;
+// latency quantiles come from the per-tenant log2 histogram.
+type TenantProm struct {
+	Name      string
+	Requests  int64 // submissions (admitted + rejected)
+	Admitted  int64
+	Completed int64
+	Failed    int64
+	// Rejections by structured cause.
+	RejectedQueue    int64
+	RejectedInflight int64
+	RejectedQuota    int64
+	// Memo-cache outcomes, one per admitted request.
+	CacheHits   int64
+	CacheMisses int64
+	// Live admission state.
+	Inflight        int64
+	ChargedVertices int64
+	VertexQuota     int64
+	// Completed-request latency quantiles, microseconds.
+	LatencyP50Us int64
+	LatencyP95Us int64
+}
+
+// writeTenants renders the tenant-labeled serving series. Counters first,
+// then gauges, each series listing every tenant under one header.
+func writeTenants(p func(format string, args ...any), ts []TenantProm) {
+	counter := func(name, help string, get func(TenantProm) int64) {
+		p("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, t := range ts {
+			p("%s{tenant=%q} %d\n", name, t.Name, get(t))
+		}
+	}
+	gauge := func(name, help string, get func(TenantProm) int64) {
+		p("# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, t := range ts {
+			p("%s{tenant=%q} %d\n", name, t.Name, get(t))
+		}
+	}
+	counter("dgr_tenant_requests_total", "Evaluation submissions per tenant.",
+		func(t TenantProm) int64 { return t.Requests })
+	counter("dgr_tenant_admitted_total", "Submissions admitted past quota checks.",
+		func(t TenantProm) int64 { return t.Admitted })
+	counter("dgr_tenant_completed_total", "Evaluations finished successfully.",
+		func(t TenantProm) int64 { return t.Completed })
+	counter("dgr_tenant_failed_total", "Evaluations finished with an error.",
+		func(t TenantProm) int64 { return t.Failed })
+	counter("dgr_tenant_rejected_queue_total", "Rejections: admission queue full.",
+		func(t TenantProm) int64 { return t.RejectedQueue })
+	counter("dgr_tenant_rejected_inflight_total", "Rejections: tenant in-flight limit.",
+		func(t TenantProm) int64 { return t.RejectedInflight })
+	counter("dgr_tenant_rejected_quota_total", "Rejections: tenant vertex quota.",
+		func(t TenantProm) int64 { return t.RejectedQuota })
+	counter("dgr_tenant_cache_hits_total", "Memo-cache hits (reduction skipped).",
+		func(t TenantProm) int64 { return t.CacheHits })
+	counter("dgr_tenant_cache_misses_total", "Memo-cache misses (reduction ran).",
+		func(t TenantProm) int64 { return t.CacheMisses })
+	gauge("dgr_tenant_inflight", "Queued plus running requests.",
+		func(t TenantProm) int64 { return t.Inflight })
+	gauge("dgr_tenant_charged_vertices", "Graph vertices charged against the quota.",
+		func(t TenantProm) int64 { return t.ChargedVertices })
+	gauge("dgr_tenant_vertex_quota", "Configured graph-vertex quota.",
+		func(t TenantProm) int64 { return t.VertexQuota })
+	gauge("dgr_tenant_latency_p50_us", "Median request latency, microseconds.",
+		func(t TenantProm) int64 { return t.LatencyP50Us })
+	gauge("dgr_tenant_latency_p95_us", "95th-percentile request latency, microseconds.",
+		func(t TenantProm) int64 { return t.LatencyP95Us })
 }
 
 // WritePrometheus renders d in the Prometheus text exposition format
@@ -94,6 +168,10 @@ func WritePrometheus(w io.Writer, d PromData) error {
 		}
 		p("dgr_fabric_latency_us_bucket{le=\"+Inf\"} %d\n", cum)
 		p("dgr_fabric_latency_us_count %d\n", cum)
+	}
+
+	if len(d.Tenants) > 0 {
+		writeTenants(p, d.Tenants)
 	}
 
 	gauge("dgr_pes", "Processing elements.", int64(d.PEs))

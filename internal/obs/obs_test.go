@@ -275,6 +275,12 @@ func TestWritePrometheus(t *testing.T) {
 		PoolBands:   [][Bands]int{{1, 0, 2, 0}, {0, 0, 0, 3}},
 		Utils:       []float64{0.5, 0.25},
 		ExecsPerPE:  []int64{21, 21},
+		Tenants: []TenantProm{{
+			Name: "alice", Requests: 7, Admitted: 6, Completed: 5, Failed: 1,
+			RejectedQuota: 1, CacheHits: 2, CacheMisses: 4,
+			Inflight: 1, ChargedVertices: 2048, VertexQuota: 32768,
+			LatencyP50Us: 120, LatencyP95Us: 900,
+		}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -291,6 +297,12 @@ func TestWritePrometheus(t *testing.T) {
 		"dgr_fabric_latency_us_count 2",
 		"# TYPE dgr_tasks_executed_total counter",
 		"# TYPE dgr_inflight_tasks gauge",
+		`dgr_tenant_requests_total{tenant="alice"} 7`,
+		`dgr_tenant_rejected_quota_total{tenant="alice"} 1`,
+		`dgr_tenant_cache_hits_total{tenant="alice"} 2`,
+		`dgr_tenant_charged_vertices{tenant="alice"} 2048`,
+		`dgr_tenant_latency_p95_us{tenant="alice"} 900`,
+		"# TYPE dgr_tenant_requests_total counter",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q", want)

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// memoCache is a size-bounded LRU of normal forms keyed by canonical
+// program digest (lang.Digest). A hit returns the cached Result — the
+// serialized normal form — so repeated hot queries skip compilation and
+// reduction entirely. Results are immutable once inserted; callers must
+// not mutate what Get returns.
+type memoCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type memoEntry struct {
+	digest string
+	res    *Result
+}
+
+func newMemoCache(capacity int) *memoCache {
+	return &memoCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached normal form for digest, bumping its recency.
+// Hit/miss accounting lives in the server's per-tenant stats (one count
+// per request, not per lookup — a job is probed at admission and again at
+// dispatch).
+func (c *memoCache) Get(digest string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[digest]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*memoEntry).res, true
+}
+
+// Put inserts (or refreshes) a normal form, evicting the least recently
+// used entry when the cache is full.
+func (c *memoCache) Put(digest string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[digest]; ok {
+		el.Value.(*memoEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[digest] = c.ll.PushFront(&memoEntry{digest: digest, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*memoEntry).digest)
+	}
+}
+
+// CacheStats is a point-in-time summary of the memo cache.
+type CacheStats struct {
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+}
+
+// Stats reports occupancy; the server fills in the request-level hit and
+// miss totals from its tenant accounting.
+func (c *memoCache) Stats() CacheStats {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{Entries: n, Capacity: c.cap}
+}

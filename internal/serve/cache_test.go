@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMemoCacheLRUEviction(t *testing.T) {
+	c := newMemoCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("d%d", i), &Result{Rendered: fmt.Sprint(i)})
+	}
+	// Touch d0 so d1 becomes the LRU, then overflow.
+	if _, ok := c.Get("d0"); !ok {
+		t.Fatal("d0 missing before eviction")
+	}
+	c.Put("d3", &Result{Rendered: "3"})
+
+	if _, ok := c.Get("d1"); ok {
+		t.Fatal("d1 survived eviction; LRU order ignores Get recency")
+	}
+	for _, k := range []string{"d0", "d2", "d3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted, want it retained", k)
+		}
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Capacity != 3 {
+		t.Fatalf("stats = %+v, want 3/3", st)
+	}
+}
+
+func TestMemoCachePutRefreshes(t *testing.T) {
+	c := newMemoCache(2)
+	c.Put("d", &Result{Rendered: "old"})
+	c.Put("d", &Result{Rendered: "new"})
+	res, ok := c.Get("d")
+	if !ok || res.Rendered != "new" {
+		t.Fatalf("got %+v, want refreshed entry", res)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("re-Put duplicated the entry: %+v", st)
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dgr/internal/workload"
+)
+
+// Outcome aliases the harness-facing per-request summary (defined in
+// internal/workload to keep the import graph acyclic): both *Server
+// (in-process) and *Client (HTTP) produce it from LoadEval, so the same
+// harness drives either transport.
+type Outcome = workload.ServeOutcome
+
+// LoadEval submits synchronously and folds the job's fate into an Outcome.
+// Admission rejections and evaluation failures are data, not errors; the
+// error return is reserved for transport/infrastructure trouble.
+func (s *Server) LoadEval(tenant, program string) (Outcome, error) {
+	j, err := s.Submit(Request{Tenant: tenant, Program: program})
+	if err != nil {
+		if se, ok := err.(*Error); ok {
+			return Outcome{Rejected: se.IsRejection(), Code: se.Code}, nil
+		}
+		return Outcome{}, err
+	}
+	view, err := j.Wait(context.Background())
+	if err != nil {
+		return Outcome{}, err
+	}
+	return viewOutcome(view), nil
+}
+
+func viewOutcome(v JobView) Outcome {
+	o := Outcome{CacheHit: v.CacheHit}
+	switch v.Status {
+	case StatusDone:
+		o.OK = true
+		if v.Result != nil {
+			o.Rendered = v.Result.Rendered
+		}
+	case StatusFailed:
+		if v.Err != nil {
+			o.Code = v.Err.Code
+			o.Rejected = v.Err.IsRejection()
+		}
+	default:
+		o.Code = v.Status
+	}
+	return o
+}
+
+// Client drives a remote dgr-serve over HTTP, mirroring the in-process
+// LoadEval/Stats surface.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets base (e.g. "http://127.0.0.1:8091").
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{Timeout: 2 * time.Minute}}
+}
+
+// LoadEval posts one synchronous evaluation.
+func (c *Client) LoadEval(tenant, program string) (Outcome, error) {
+	body, err := json.Marshal(evalRequest{Tenant: tenant, Program: program})
+	if err != nil {
+		return Outcome{}, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		var view JobView
+		if err := dec.Decode(&view); err != nil {
+			return Outcome{}, fmt.Errorf("serve client: decoding result: %w", err)
+		}
+		return viewOutcome(view), nil
+	}
+	// Non-200: either a structured rejection envelope or a failed JobView
+	// (eval errors return the full snapshot with an embedded *Error).
+	var raw struct {
+		Error *Error `json:"error"`
+		JobView
+	}
+	if err := dec.Decode(&raw); err != nil {
+		return Outcome{}, fmt.Errorf("serve client: HTTP %d with undecodable body: %w",
+			resp.StatusCode, err)
+	}
+	if raw.Error != nil {
+		return Outcome{Rejected: raw.Error.IsRejection(), Code: raw.Error.Code}, nil
+	}
+	if raw.Err != nil {
+		return viewOutcome(raw.JobView), nil
+	}
+	return Outcome{}, fmt.Errorf("serve client: HTTP %d without structured error", resp.StatusCode)
+}
+
+// ServerState fetches the /debug/serve.json digest (pool stats, tenant
+// rows, invariant violations).
+func (c *Client) ServerState() (PoolStats, []string, error) {
+	resp, err := c.http.Get(c.base + "/debug/serve.json")
+	if err != nil {
+		return PoolStats{}, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return PoolStats{}, nil, fmt.Errorf("serve client: /debug/serve.json: HTTP %d", resp.StatusCode)
+	}
+	var state struct {
+		Pool       PoolStats `json:"pool"`
+		Violations []string  `json:"violations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		return PoolStats{}, nil, err
+	}
+	return state.Pool, state.Violations, nil
+}
+
+// WaitHealthy polls /healthz until the server answers or the deadline
+// passes — the serve smoke job's startup barrier.
+func (c *Client) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.http.Get(c.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("serve client: server not healthy after %s: %w", timeout, err)
+			}
+			return fmt.Errorf("serve client: server not healthy after %s", timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newHTTPServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newTestServer(t, Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postEval(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/eval: %v", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, data
+}
+
+func TestHTTPSyncEval(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, data := postEval(t, ts, `{"tenant":"alice","program":"6 * 7"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	var view JobView
+	if err := json.Unmarshal(data, &view); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if view.Status != StatusDone || view.Result == nil || view.Result.Rendered != "42" {
+		t.Fatalf("view = %+v, want done/42", view)
+	}
+}
+
+func TestHTTPParseError(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, data := postEval(t, ts, `{"program":"let ("}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, data)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Error == nil || eb.Error.Code != CodeParse {
+		t.Fatalf("body = %s, want error envelope with %s", data, CodeParse)
+	}
+}
+
+func TestHTTPRejectionStatus(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	s.mu.Lock()
+	s.queued = s.opts.QueueDepth // manufacture a full queue
+	s.mu.Unlock()
+	resp, data := postEval(t, ts, `{"tenant":"alice","program":"1 + 1"}`)
+	s.mu.Lock()
+	s.queued = 0
+	s.mu.Unlock()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", resp.StatusCode, data)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Error == nil || eb.Error.Code != CodeQueueFull {
+		t.Fatalf("body = %s, want %s envelope", data, CodeQueueFull)
+	}
+}
+
+func TestHTTPAsyncAndJobPoll(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, data := postEval(t, ts, `{"tenant":"alice","program":"2 + 2","async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202; body %s", resp.StatusCode, data)
+	}
+	var view JobView
+	if err := json.Unmarshal(data, &view); err != nil || view.ID == "" {
+		t.Fatalf("async body = %s", data)
+	}
+	// Poll until done.
+	for i := 0; ; i++ {
+		jr, err := http.Get(ts.URL + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		var jv JobView
+		err = json.NewDecoder(jr.Body).Decode(&jv)
+		jr.Body.Close()
+		if err != nil {
+			t.Fatalf("decode job: %v", err)
+		}
+		if jv.Status == StatusDone {
+			if jv.Result.Rendered != "4" {
+				t.Fatalf("job result = %+v, want 4", jv.Result)
+			}
+			break
+		}
+		if i > 500 {
+			t.Fatalf("job still %s after polling", jv.Status)
+		}
+	}
+
+	// Unknown job → 404 envelope.
+	jr, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatalf("GET unknown job: %v", err)
+	}
+	defer jr.Body.Close()
+	if jr.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d, want 404", jr.StatusCode)
+	}
+}
+
+func TestHTTPStream(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, err := http.Post(ts.URL+"/v1/eval", "application/json",
+		strings.NewReader(`{"tenant":"alice","program":"3 * 3","stream":true}`))
+	if err != nil {
+		t.Fatalf("POST stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/jsonl" {
+		t.Fatalf("content type = %s", ct)
+	}
+	var last JobView
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("line %d: %v (%s)", lines, err, sc.Text())
+		}
+		lines++
+	}
+	if lines < 1 || last.Status != StatusDone || last.Result.Rendered != "9" {
+		t.Fatalf("stream ended with %+v after %d lines, want done/9", last, lines)
+	}
+}
+
+func TestHTTPMetricsAndDebug(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	// Generate some per-tenant traffic first.
+	postEval(t, ts, `{"tenant":"alice","program":"1 + 2"}`)
+	postEval(t, ts, `{"tenant":"alice","program":"1 + 2"}`) // warm hit
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	mdata, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	text := string(mdata)
+	for _, want := range []string{
+		`dgr_tenant_requests_total{tenant="alice"} 2`,
+		`dgr_tenant_cache_hits_total{tenant="alice"} 1`,
+		"dgr_pes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	dr, err := http.Get(ts.URL + "/debug/serve.json")
+	if err != nil {
+		t.Fatalf("GET /debug/serve.json: %v", err)
+	}
+	defer dr.Body.Close()
+	var state debugState
+	if err := json.NewDecoder(dr.Body).Decode(&state); err != nil {
+		t.Fatalf("decode debug: %v", err)
+	}
+	if state.Pool.Workers != 1 || len(state.Tenants) == 0 || state.Violations == nil {
+		t.Fatalf("debug state = %+v", state)
+	}
+}
+
+// TestHTTPClientRoundTrip drives the serve.Client against a live handler —
+// the same path the -load smoke uses.
+func TestHTTPClientRoundTrip(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	c := NewClient(ts.URL)
+	if err := c.WaitHealthy(2 * time.Second); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	out, err := c.LoadEval("alice", "10 - 3")
+	if err != nil {
+		t.Fatalf("LoadEval: %v", err)
+	}
+	if !out.OK || out.Rendered != "7" {
+		t.Fatalf("outcome = %+v, want OK/7", out)
+	}
+	// A parse failure comes back as data, not a transport error.
+	bad, err := c.LoadEval("alice", "((")
+	if err != nil {
+		t.Fatalf("LoadEval parse: %v", err)
+	}
+	if bad.OK || bad.Code != CodeParse {
+		t.Fatalf("parse outcome = %+v, want code %s", bad, CodeParse)
+	}
+	pool, viol, err := c.ServerState()
+	if err != nil {
+		t.Fatalf("ServerState: %v", err)
+	}
+	if pool.Workers != 1 || len(viol) != 0 {
+		t.Fatalf("pool = %+v viol = %v", pool, viol)
+	}
+}

@@ -1,0 +1,824 @@
+// Package serve is the multi-tenant serving layer: a long-running pool of
+// dgr.Machine workers fronted by admission control (bounded queue,
+// per-tenant in-flight and vertex quotas), weighted-round-robin fair
+// scheduling across tenants mapped onto the machine's priority bands, and
+// a normal-form memo cache keyed by canonical program digest so repeated
+// hot queries skip reduction entirely. cmd/dgr-serve exposes it over
+// HTTP/JSON; internal/workload's serveload harness load-tests it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dgr"
+	"dgr/internal/lang"
+	"dgr/internal/metrics"
+	"dgr/internal/obs"
+)
+
+// Structured rejection and failure codes. Admission rejections (queue,
+// in-flight, quota) are the contract the load harness and clients key on:
+// an over-limit request gets a code, never a hang.
+const (
+	CodeParse          = "parse_error"
+	CodeQueueFull      = "queue_full"
+	CodeTenantInflight = "tenant_inflight"
+	CodeTenantQuota    = "tenant_quota"
+	CodeClosed         = "server_closed"
+	CodeDeadlock       = "deadlock"
+	CodeStuck          = "stuck"
+	CodeBudget         = "budget_exhausted"
+	CodeNotFound       = "not_found"
+	CodeBadRequest     = "bad_request"
+)
+
+// Error is the structured error every rejection and failure surfaces.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Tenant  string `json:"tenant,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
+	Current int    `json:"current,omitempty"`
+}
+
+func (e *Error) Error() string {
+	if e.Tenant != "" {
+		return fmt.Sprintf("serve: %s (tenant %q): %s", e.Code, e.Tenant, e.Message)
+	}
+	return fmt.Sprintf("serve: %s: %s", e.Code, e.Message)
+}
+
+// IsRejection reports whether e is an admission rejection (retryable by
+// the client later) rather than an evaluation failure.
+func (e *Error) IsRejection() bool {
+	switch e.Code {
+	case CodeQueueFull, CodeTenantInflight, CodeTenantQuota, CodeClosed:
+		return true
+	}
+	return false
+}
+
+// Options configures a Server. The zero value is usable: two deterministic
+// 2-PE workers, a 256-deep admission queue, and a 1024-entry memo cache.
+type Options struct {
+	// Workers is the machine-pool size (default 2).
+	Workers int
+	// PEs, Parallel, Seed, Capacity, MaxSteps, Timeout, Check, and Obs
+	// configure each pooled dgr.Machine (defaults: 2 PEs, deterministic,
+	// seed 1, 1<<16 vertices, machine defaults for the budgets).
+	PEs      int
+	Parallel bool
+	Seed     int64
+	Capacity int
+	MaxSteps int
+	Timeout  time.Duration
+	Check    bool
+	Obs      bool
+
+	// QueueDepth bounds the total queued (not yet running) jobs across all
+	// tenants (default 256); admission beyond it is CodeQueueFull.
+	QueueDepth int
+	// CacheEntries bounds the normal-form memo cache (default 1024).
+	CacheEntries int
+	// DefaultLimits applies to tenants not configured via SetTenant
+	// (defaults: MaxInflight 8, VertexQuota Capacity/2, BandEager, weight 1).
+	DefaultLimits TenantLimits
+	// EstimateVertices prices a tenant's first request against its vertex
+	// quota before any footprint has been observed (default 2048).
+	EstimateVertices int
+	// JobHistory bounds how many finished jobs remain queryable by ID
+	// (default 4096; oldest evicted first).
+	JobHistory int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.PEs <= 0 {
+		o.PEs = 2
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 1 << 16
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.DefaultLimits.MaxInflight <= 0 {
+		o.DefaultLimits.MaxInflight = 8
+	}
+	if o.DefaultLimits.VertexQuota <= 0 {
+		o.DefaultLimits.VertexQuota = o.Capacity / 2
+	}
+	if o.EstimateVertices <= 0 {
+		o.EstimateVertices = 2048
+	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 4096
+	}
+	return o
+}
+
+// Request is one evaluation submission.
+type Request struct {
+	// Tenant names the submitting tenant ("" is the anonymous tenant).
+	Tenant string `json:"tenant"`
+	// Program is the source text to evaluate.
+	Program string `json:"program"`
+	// List forces every element of a list-valued program (EvalList);
+	// otherwise the program is reduced to WHNF (Eval).
+	List bool `json:"list,omitempty"`
+}
+
+// Result is a serialized normal form — what the memo cache stores and the
+// API returns. Rendered is the canonical text form; warm-cache reruns
+// return it byte-identical to the cold evaluation that populated the entry.
+type Result struct {
+	Kind     string   `json:"kind"`
+	Rendered string   `json:"rendered"`
+	Elems    []string `json:"elems,omitempty"`
+}
+
+// Job states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Job is one admitted evaluation. All fields are guarded by the server
+// mutex; read them through View/Wait.
+type Job struct {
+	s *Server
+
+	id       string
+	tenant   *tenant
+	req      Request
+	digest   string
+	cost     int
+	status   string
+	cacheHit bool
+	result   *Result
+	err      *Error
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+// JobView is an immutable snapshot of a Job.
+type JobView struct {
+	ID        string  `json:"id"`
+	Tenant    string  `json:"tenant"`
+	Status    string  `json:"status"`
+	Digest    string  `json:"digest"`
+	CacheHit  bool    `json:"cache_hit"`
+	Result    *Result `json:"result,omitempty"`
+	Err       *Error  `json:"error,omitempty"`
+	ElapsedUs int64   `json:"elapsed_us"`
+}
+
+// ID returns the job's identifier (stable, safe without the lock).
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job finishes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.s.mu.Lock()
+	defer j.s.mu.Unlock()
+	return j.viewLocked()
+}
+
+func (j *Job) viewLocked() JobView {
+	v := JobView{
+		ID: j.id, Tenant: j.tenant.name, Status: j.status,
+		Digest: j.digest, CacheHit: j.cacheHit, Result: j.result, Err: j.err,
+	}
+	switch j.status {
+	case StatusDone, StatusFailed:
+		v.ElapsedUs = j.finished.Sub(j.submitted).Microseconds()
+	default:
+		v.ElapsedUs = time.Since(j.submitted).Microseconds()
+	}
+	return v
+}
+
+// Wait blocks until the job finishes or ctx is done, returning the final
+// (or, on ctx expiry, current) snapshot.
+func (j *Job) Wait(ctx context.Context) (JobView, error) {
+	select {
+	case <-j.done:
+		return j.View(), nil
+	case <-ctx.Done():
+		return j.View(), ctx.Err()
+	}
+}
+
+// worker owns one pooled machine. The machine pointer is guarded by the
+// server mutex (the owning goroutine swaps it on recycle; exposition
+// endpoints read it), but only the worker goroutine ever calls Eval on it.
+type worker struct {
+	id int
+	m  *dgr.Machine
+}
+
+// Server is the multi-tenant serving layer.
+type Server struct {
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	closed  bool
+	tenants map[string]*tenant
+	jobs    map[string]*Job
+	history []string // finished job IDs, oldest first
+	queued  int      // jobs admitted but not yet dispatched
+	running int
+	nextID  uint64
+
+	// rings hold, per scheduling band, the tenants that currently have
+	// queued jobs; credits implement the weighted round-robin across bands.
+	rings   [3][]*tenant
+	cursor  [3]int
+	credits [3]int
+
+	workers    []*worker
+	wg         sync.WaitGroup
+	recycles   int64
+	violations []string // from recycled (closed) machines, capped
+
+	cache *memoCache
+}
+
+// New builds and starts a server (its worker goroutines idle until jobs
+// arrive). Close must be called to stop them.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		tenants: make(map[string]*tenant),
+		jobs:    make(map[string]*Job),
+		cache:   newMemoCache(opts.CacheEntries),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for b := range s.credits {
+		s.credits[b] = bandWeight(uint8(b))
+	}
+	for i := 0; i < opts.Workers; i++ {
+		w := &worker{id: i, m: s.newMachine(i)}
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go s.workerLoop(w)
+	}
+	return s
+}
+
+func (s *Server) newMachine(id int) *dgr.Machine {
+	return dgr.New(dgr.Options{
+		PEs:      s.opts.PEs,
+		Parallel: s.opts.Parallel,
+		Seed:     s.opts.Seed + int64(id),
+		Capacity: s.opts.Capacity,
+		MaxSteps: s.opts.MaxSteps,
+		Timeout:  s.opts.Timeout,
+		Check:    s.opts.Check,
+		Obs:      s.opts.Obs,
+	})
+}
+
+// SetTenant configures a tenant's limits and scheduling class. Unknown
+// tenants get Options.DefaultLimits on first contact.
+func (s *Server) SetTenant(name string, lim TenantLimits) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenantLocked(name)
+	wasBand := t.limits.Band
+	t.limits = lim.withDefaults(s.opts)
+	if t.inRing && t.limits.Band != wasBand {
+		s.ringRemoveLocked(t, wasBand)
+		s.ringAddLocked(t)
+	}
+}
+
+func (s *Server) tenantLocked(name string) *tenant {
+	if name == "" {
+		name = "anonymous"
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenant{name: name, limits: TenantLimits{}.withDefaults(s.opts)}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Submit admits one evaluation. It returns a structured *Error (as error)
+// on parse failure or admission rejection; otherwise the returned job is
+// queued — or, on a memo-cache hit, already done — and never blocks on
+// machine availability. A hit is served at admission: it consumes no queue
+// slot, no quota charge, and no machine time.
+func (s *Server) Submit(req Request) (*Job, error) {
+	digest, derr := lang.DigestString(req.Program)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, &Error{Code: CodeClosed, Message: "server is shutting down"}
+	}
+	t := s.tenantLocked(req.Tenant)
+	t.stats.Requests++
+	if derr != nil {
+		t.stats.Failed++
+		return nil, &Error{Code: CodeParse, Message: derr.Error(), Tenant: t.name}
+	}
+
+	// Memo-cache fast path: a known normal form short-circuits admission.
+	if res, ok := s.cacheGetLocked(digest, req.List); ok {
+		t.stats.CacheHits++
+		t.stats.Admitted++
+		t.stats.Completed++
+		j := s.newJobLocked(t, req, digest)
+		j.status = StatusDone
+		j.cacheHit = true
+		j.result = res
+		j.started = j.submitted
+		j.finished = time.Now()
+		t.inflight-- // newJobLocked charged it; a hit never occupies a slot
+		t.stats.latency.Observe(j.finished.Sub(j.submitted).Microseconds())
+		close(j.done)
+		s.retireLocked(j)
+		return j, nil
+	}
+
+	// Admission control: global queue bound, then per-tenant quotas.
+	if s.queued >= s.opts.QueueDepth {
+		t.stats.RejectedQueue++
+		return nil, &Error{
+			Code: CodeQueueFull, Message: "admission queue is full",
+			Tenant: t.name, Limit: s.opts.QueueDepth, Current: s.queued,
+		}
+	}
+	if t.inflight >= t.limits.MaxInflight {
+		t.stats.RejectedInflight++
+		return nil, &Error{
+			Code: CodeTenantInflight, Message: "tenant in-flight limit reached",
+			Tenant: t.name, Limit: t.limits.MaxInflight, Current: t.inflight,
+		}
+	}
+	cost := t.chargeCost(s.opts)
+	if t.charged+cost > t.limits.VertexQuota {
+		t.stats.RejectedQuota++
+		return nil, &Error{
+			Code: CodeTenantQuota, Message: "tenant graph-vertex quota reached",
+			Tenant: t.name, Limit: t.limits.VertexQuota, Current: t.charged,
+		}
+	}
+
+	t.stats.Admitted++
+	t.stats.CacheMisses++
+	j := s.newJobLocked(t, req, digest)
+	j.cost = cost
+	t.charged += cost
+	t.queue = append(t.queue, j)
+	s.queued++
+	s.ringAddLocked(t)
+	s.cond.Signal()
+	return j, nil
+}
+
+// newJobLocked registers a fresh job and counts it against the tenant's
+// in-flight slots.
+func (s *Server) newJobLocked(t *tenant, req Request, digest string) *Job {
+	s.nextID++
+	j := &Job{
+		s: s, id: fmt.Sprintf("j-%06d", s.nextID), tenant: t, req: req,
+		digest: digest, status: StatusQueued, submitted: time.Now(),
+		done: make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	t.inflight++
+	return j
+}
+
+// cacheGetLocked looks up the memo cache, refusing a scalar entry for a
+// list request (and vice versa) — the two evaluation modes produce
+// different normal forms for the same program text.
+func (s *Server) cacheGetLocked(digest string, list bool) (*Result, bool) {
+	res, ok := s.cache.Get(cacheKey(digest, list))
+	return res, ok
+}
+
+func cacheKey(digest string, list bool) string {
+	if list {
+		return digest + "/list"
+	}
+	return digest
+}
+
+// Job returns the job with the given ID, if it is still tracked.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// ringAddLocked makes the tenant eligible for dispatch in its band.
+func (s *Server) ringAddLocked(t *tenant) {
+	if t.inRing || len(t.queue) == 0 {
+		return
+	}
+	b := bandIndex(t.limits.Band)
+	s.rings[b] = append(s.rings[b], t)
+	t.inRing = true
+}
+
+func (s *Server) ringRemoveLocked(t *tenant, band uint8) {
+	b := bandIndex(band)
+	for i, rt := range s.rings[b] {
+		if rt == t {
+			s.rings[b] = append(s.rings[b][:i], s.rings[b][i+1:]...)
+			if s.cursor[b] > i {
+				s.cursor[b]--
+			}
+			break
+		}
+	}
+	t.inRing = false
+	t.deficit = 0
+}
+
+func bandIndex(band uint8) int {
+	if band > 2 {
+		return 2
+	}
+	return int(band)
+}
+
+// nextJobLocked implements the weighted round-robin dequeue: bands are
+// visited highest-first while they hold credits (vital 4 : eager 2 :
+// reserve 1, refilled when every non-empty band is out), and within a band
+// tenants take turns, each granted its Weight in consecutive dequeues.
+// One hot tenant can exhaust neither its band (the ring rotates) nor the
+// lower bands (credits bound each band's share per refill round).
+func (s *Server) nextJobLocked() *Job {
+	for attempt := 0; attempt < 2; attempt++ {
+		for b := 2; b >= 0; b-- {
+			if len(s.rings[b]) == 0 || s.credits[b] <= 0 {
+				continue
+			}
+			s.credits[b]--
+			ring := s.rings[b]
+			s.cursor[b] %= len(ring)
+			t := ring[s.cursor[b]]
+			if t.deficit <= 0 {
+				t.deficit = t.limits.Weight
+			}
+			j := t.queue[0]
+			t.queue[0] = nil
+			t.queue = t.queue[1:]
+			t.deficit--
+			if len(t.queue) == 0 {
+				s.ringRemoveLocked(t, t.limits.Band)
+			} else if t.deficit <= 0 {
+				s.cursor[b]++
+			}
+			s.queued--
+			return j
+		}
+		// Credits exhausted for every band that has work: refill and retry.
+		for b := range s.credits {
+			s.credits[b] = bandWeight(uint8(b))
+		}
+	}
+	return nil
+}
+
+func (s *Server) workerLoop(w *worker) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var j *Job
+		for {
+			if j = s.nextJobLocked(); j != nil || s.closed {
+				break
+			}
+			s.cond.Wait()
+		}
+		if j == nil { // closed and drained
+			m := w.m
+			w.m = nil
+			s.collectViolationsLocked(m)
+			s.mu.Unlock()
+			m.Close()
+			return
+		}
+		j.status = StatusRunning
+		j.started = time.Now()
+		s.running++
+		s.mu.Unlock()
+
+		s.execute(w, j)
+	}
+}
+
+// execute runs one job on the worker's machine. The digest may have been
+// cached between admission and dispatch (two cold submissions of the same
+// program), so the cache is consulted once more before reducing.
+func (s *Server) execute(w *worker, j *Job) {
+	if res, ok := s.cache.Get(cacheKey(j.digest, j.req.List)); ok {
+		s.finish(j, res, true, 0, nil)
+		return
+	}
+	m := w.m
+	// Settle the quota charge against real free-list movement: footprint =
+	// how far the sharded store's FreeCount dropped across the evaluation.
+	// Deterministic machines reclaim the previous request's garbage first
+	// so one job's leavings aren't billed to the next.
+	if !s.opts.Parallel && m.FreeVertices() < s.opts.Capacity/4 {
+		m.RunGC()
+	}
+	free0 := m.FreeVertices()
+
+	var res *Result
+	var evalErr error
+	if j.req.List {
+		var vs []dgr.Value
+		vs, evalErr = m.EvalList(j.req.Program)
+		if evalErr == nil {
+			res = listResult(vs)
+		}
+	} else {
+		var v dgr.Value
+		v, evalErr = m.Eval(j.req.Program)
+		if evalErr == nil {
+			res = valueResult(v)
+		}
+	}
+	used := free0 - m.FreeVertices()
+	if used < 0 {
+		used = 0
+	}
+
+	if evalErr != nil {
+		s.fail(j, evalError(j.tenant.name, evalErr), used)
+		s.recycle(w)
+		return
+	}
+	s.cache.Put(cacheKey(j.digest, j.req.List), res)
+	s.finish(j, res, false, used, m)
+}
+
+// finish completes a job successfully and releases its admission charges.
+func (s *Server) finish(j *Job, res *Result, hit bool, used int, m *dgr.Machine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := j.tenant
+	j.status = StatusDone
+	j.result = res
+	j.cacheHit = hit
+	j.finished = time.Now()
+	s.running--
+	t.inflight--
+	t.charged -= j.cost
+	if hit {
+		t.stats.CacheHits++
+		t.stats.CacheMisses-- // admission pre-counted a miss
+	} else {
+		t.observe(used)
+	}
+	t.stats.Completed++
+	t.stats.latency.Observe(j.finished.Sub(j.submitted).Microseconds())
+	close(j.done)
+	s.retireLocked(j)
+}
+
+// fail completes a job with a structured error.
+func (s *Server) fail(j *Job, e *Error, used int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := j.tenant
+	j.status = StatusFailed
+	j.err = e
+	j.finished = time.Now()
+	s.running--
+	t.inflight--
+	t.charged -= j.cost
+	if used > 0 {
+		t.observe(used)
+	}
+	t.stats.Failed++
+	t.stats.latency.Observe(j.finished.Sub(j.submitted).Microseconds())
+	close(j.done)
+	s.retireLocked(j)
+}
+
+// retireLocked bounds the finished-job history.
+func (s *Server) retireLocked(j *Job) {
+	s.history = append(s.history, j.id)
+	for len(s.history) > s.opts.JobHistory {
+		delete(s.jobs, s.history[0])
+		s.history = s.history[1:]
+	}
+}
+
+// recycle replaces a worker's machine after a failed evaluation: a
+// deadlocked, stuck, or budget-exhausted run can leave deadlock records,
+// runtime errors, or (in parallel mode) still-live tasks behind, and a
+// fresh machine is cheaper than proving the old one clean. Check
+// violations are harvested before the close so they stay reportable.
+func (s *Server) recycle(w *worker) {
+	fresh := s.newMachine(w.id)
+	s.mu.Lock()
+	old := w.m
+	w.m = fresh
+	s.recycles++
+	s.collectViolationsLocked(old)
+	s.mu.Unlock()
+	old.Close()
+}
+
+func (s *Server) collectViolationsLocked(m *dgr.Machine) {
+	if m == nil {
+		return
+	}
+	for _, v := range m.CheckViolations() {
+		if len(s.violations) >= 64 {
+			return
+		}
+		s.violations = append(s.violations, v)
+	}
+}
+
+// evalError maps machine errors onto structured codes.
+func evalError(tenant string, err error) *Error {
+	code := CodeStuck
+	switch {
+	case errors.Is(err, dgr.ErrDeadlock):
+		code = CodeDeadlock
+	case errors.Is(err, dgr.ErrBudget):
+		code = CodeBudget
+	case errors.Is(err, dgr.ErrClosed):
+		code = CodeClosed
+	}
+	return &Error{Code: code, Message: err.Error(), Tenant: tenant}
+}
+
+func valueResult(v dgr.Value) *Result {
+	return &Result{Kind: v.Kind.String(), Rendered: v.String()}
+}
+
+func listResult(vs []dgr.Value) *Result {
+	elems := make([]string, len(vs))
+	for i, v := range vs {
+		elems[i] = v.String()
+	}
+	return &Result{
+		Kind:     "list",
+		Rendered: "[" + strings.Join(elems, ", ") + "]",
+		Elems:    elems,
+	}
+}
+
+// Close stops the workers (after their current jobs), fails everything
+// still queued with CodeClosed, and closes the pooled machines. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var orphans []*Job
+	for j := s.nextJobLocked(); j != nil; j = s.nextJobLocked() {
+		orphans = append(orphans, j)
+	}
+	for _, j := range orphans {
+		t := j.tenant
+		j.status = StatusFailed
+		j.err = &Error{Code: CodeClosed, Message: "server closed before dispatch", Tenant: t.name}
+		j.finished = time.Now()
+		t.inflight--
+		t.charged -= j.cost
+		t.stats.Failed++
+		close(j.done)
+		s.retireLocked(j)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// CacheStats summarizes the memo cache; hit/miss totals are per request
+// (summed across tenants), not per internal lookup.
+func (s *Server) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cacheStatsLocked()
+}
+
+func (s *Server) cacheStatsLocked() CacheStats {
+	cs := s.cache.Stats()
+	for _, t := range s.tenants {
+		cs.Hits += t.stats.CacheHits
+		cs.Misses += t.stats.CacheMisses
+	}
+	return cs
+}
+
+// Violations returns every invariant violation observed across the pool —
+// live machines and recycled ones — capped at 64 entries.
+func (s *Server) Violations() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.violations...)
+	for _, w := range s.workers {
+		if w.m != nil {
+			out = append(out, w.m.CheckViolations()...)
+		}
+	}
+	return out
+}
+
+// TenantProms renders every tenant's serving metrics for the Prometheus
+// exposition, sorted by name.
+func (s *Server) TenantProms() []obs.TenantProm {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]obs.TenantProm, 0, len(names))
+	for _, name := range names {
+		t := s.tenants[name]
+		lat := t.stats.latency.Snapshot()
+		out = append(out, obs.TenantProm{
+			Name:             name,
+			Requests:         t.stats.Requests,
+			Admitted:         t.stats.Admitted,
+			Completed:        t.stats.Completed,
+			Failed:           t.stats.Failed,
+			RejectedQueue:    t.stats.RejectedQueue,
+			RejectedInflight: t.stats.RejectedInflight,
+			RejectedQuota:    t.stats.RejectedQuota,
+			CacheHits:        t.stats.CacheHits,
+			CacheMisses:      t.stats.CacheMisses,
+			Inflight:         int64(t.inflight),
+			ChargedVertices:  int64(t.charged),
+			VertexQuota:      int64(t.limits.VertexQuota),
+			LatencyP50Us:     lat.Quantile(0.50),
+			LatencyP95Us:     lat.Quantile(0.95),
+		})
+	}
+	return out
+}
+
+// PoolStats is a point-in-time summary of the server.
+type PoolStats struct {
+	Workers    int              `json:"workers"`
+	PEs        int              `json:"pes"`
+	Parallel   bool             `json:"parallel"`
+	Queued     int              `json:"queued"`
+	Running    int              `json:"running"`
+	QueueDepth int              `json:"queue_depth"`
+	Tenants    int              `json:"tenants"`
+	Jobs       int              `json:"jobs_tracked"`
+	Recycles   int64            `json:"machine_recycles"`
+	Violations int              `json:"check_violations"`
+	Cache      CacheStats       `json:"cache"`
+	Machine    metrics.Snapshot `json:"machine_totals"`
+}
+
+// Stats snapshots the server, summing the pooled machines' counters.
+func (s *Server) Stats() PoolStats {
+	viol := len(s.Violations())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := PoolStats{
+		Workers: len(s.workers), PEs: s.opts.PEs, Parallel: s.opts.Parallel,
+		Queued: s.queued, Running: s.running, QueueDepth: s.opts.QueueDepth,
+		Tenants: len(s.tenants), Jobs: len(s.jobs), Recycles: s.recycles,
+		Violations: viol, Cache: s.cacheStatsLocked(),
+	}
+	for _, w := range s.workers {
+		if w.m != nil {
+			ps.Machine = ps.Machine.Add(w.m.Stats())
+		}
+	}
+	return ps
+}

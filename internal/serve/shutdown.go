@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// SignalContext returns a context cancelled on SIGINT/SIGTERM — the shared
+// shutdown trigger for dgr-serve and dgr-run's -http mode. The returned
+// stop func releases the signal handler (a second signal then kills the
+// process the default way).
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, syscall.SIGINT, syscall.SIGTERM)
+}
+
+// StartHTTP serves h on ln in the background and returns a stop function
+// that gracefully drains in-flight requests (bounded by grace). Serve
+// errors no longer vanish: any listener failure other than the shutdown's
+// own ErrServerClosed is reported through errf.
+func StartHTTP(ln net.Listener, h http.Handler, errf func(error)) (stop func(grace time.Duration)) {
+	srv := &http.Server{Handler: h}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			if errf != nil {
+				errf(err)
+			}
+		}
+	}()
+	return func(grace time.Duration) {
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && errf != nil {
+			errf(err)
+		}
+	}
+}

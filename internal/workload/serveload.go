@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ServeOutcome is the per-request summary the serveload harness consumes.
+// It lives here rather than in internal/serve so the harness stays
+// import-cycle-free (root-package tests import workload; serve imports the
+// root package); serve's Server (in-process) and Client (HTTP) both
+// produce it from their LoadEval methods.
+type ServeOutcome struct {
+	// OK: the evaluation completed with a result.
+	OK bool `json:"ok"`
+	// Rejected: admission control refused the request (structured, never a
+	// hang); Code holds the cause.
+	Rejected bool   `json:"rejected"`
+	Code     string `json:"code,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+	Rendered string `json:"rendered,omitempty"`
+}
+
+// ServeEvaler is what the serveload harness drives: the in-process
+// *serve.Server and the HTTP *serve.Client both satisfy it.
+type ServeEvaler interface {
+	LoadEval(tenant, program string) (ServeOutcome, error)
+}
+
+// ServeLoadConfig shapes one load run: N tenants × M programs, each tenant
+// submitting every program Rounds times from Concurrency parallel streams.
+type ServeLoadConfig struct {
+	// Tenants is the number of concurrent tenants (default 4), named
+	// "tenant-0" … "tenant-N-1".
+	Tenants int
+	// Programs are the source texts each tenant submits; default
+	// ServePrograms(8).
+	Programs []string
+	// Rounds is how many times each tenant evaluates the full program list
+	// (default 2 — the second round exercises the warm memo cache).
+	Rounds int
+	// Concurrency is the number of parallel submission streams per tenant
+	// (default 2).
+	Concurrency int
+}
+
+func (c ServeLoadConfig) withDefaults() ServeLoadConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if len(c.Programs) == 0 {
+		c.Programs = ServePrograms(8)
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 2
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2
+	}
+	return c
+}
+
+// ServeTenantRow is one tenant's share of a load report.
+type ServeTenantRow struct {
+	Tenant    string `json:"tenant"`
+	OK        int64  `json:"ok"`
+	Failed    int64  `json:"failed"`
+	Rejected  int64  `json:"rejected"`
+	CacheHits int64  `json:"cache_hits"`
+}
+
+// ServeLoadReport summarizes a load run. Latency quantiles are measured
+// client-side over successful requests.
+type ServeLoadReport struct {
+	Tenants     int   `json:"tenants"`
+	Programs    int   `json:"programs"`
+	Rounds      int   `json:"rounds"`
+	Concurrency int   `json:"concurrency"`
+	Requests    int64 `json:"requests"`
+	OK          int64 `json:"ok"`
+	Failed      int64 `json:"failed"`
+	Rejected    int64 `json:"rejected"`
+	CacheHits   int64 `json:"cache_hits"`
+	// Mismatches counts reruns whose rendered result was not byte-identical
+	// to the first successful evaluation of the same program — the memo
+	// cache's correctness criterion. Always 0 on a healthy server.
+	Mismatches int64            `json:"mismatches"`
+	ElapsedNs  int64            `json:"elapsed_ns"`
+	ReqPerSec  float64          `json:"req_per_sec"`
+	P50Ns      int64            `json:"p50_ns"`
+	P95Ns      int64            `json:"p95_ns"`
+	ByTenant   []ServeTenantRow `json:"by_tenant"`
+}
+
+// RunServeLoad drives cfg against ev and aggregates the outcome. Transport
+// errors abort the run; rejections and evaluation failures are counted.
+func RunServeLoad(cfg ServeLoadConfig, ev ServeEvaler) (ServeLoadReport, error) {
+	cfg = cfg.withDefaults()
+	rep := ServeLoadReport{
+		Tenants: cfg.Tenants, Programs: len(cfg.Programs),
+		Rounds: cfg.Rounds, Concurrency: cfg.Concurrency,
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	var latencies []int64
+	canonical := make([]string, len(cfg.Programs)) // first rendered result per program
+	rows := make([]ServeTenantRow, cfg.Tenants)
+
+	// Each tenant round-robins its program list across Concurrency streams;
+	// stream k takes programs k, k+C, k+2C, … each round, so every program
+	// is submitted exactly Rounds times per tenant.
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ti := 0; ti < cfg.Tenants; ti++ {
+		tenantName := fmt.Sprintf("tenant-%d", ti)
+		rows[ti].Tenant = tenantName
+		for stream := 0; stream < cfg.Concurrency; stream++ {
+			wg.Add(1)
+			go func(ti, stream int) {
+				defer wg.Done()
+				for round := 0; round < cfg.Rounds; round++ {
+					for pi := stream; pi < len(cfg.Programs); pi += cfg.Concurrency {
+						t0 := time.Now()
+						out, err := ev.LoadEval(fmt.Sprintf("tenant-%d", ti), cfg.Programs[pi])
+						lat := time.Since(t0)
+
+						mu.Lock()
+						rep.Requests++
+						switch {
+						case err != nil:
+							if firstErr == nil {
+								firstErr = err
+							}
+						case out.Rejected:
+							rep.Rejected++
+							rows[ti].Rejected++
+						case !out.OK:
+							rep.Failed++
+							rows[ti].Failed++
+						default:
+							rep.OK++
+							rows[ti].OK++
+							if out.CacheHit {
+								rep.CacheHits++
+								rows[ti].CacheHits++
+							}
+							latencies = append(latencies, lat.Nanoseconds())
+							if canonical[pi] == "" {
+								canonical[pi] = out.Rendered
+							} else if canonical[pi] != out.Rendered {
+								rep.Mismatches++
+							}
+						}
+						mu.Unlock()
+						if err != nil {
+							return
+						}
+					}
+				}
+			}(ti, stream)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.ElapsedNs = elapsed.Nanoseconds()
+	if elapsed > 0 {
+		rep.ReqPerSec = float64(rep.Requests) / elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50Ns = quantileNs(latencies, 0.50)
+	rep.P95Ns = quantileNs(latencies, 0.95)
+	rep.ByTenant = rows
+	return rep, firstErr
+}
+
+// quantileNs reads the q-quantile from an ascending sample.
+func quantileNs(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// ServePrograms generates m distinct, quick-to-reduce programs for serving
+// load tests: arithmetic folds with a varying constant so every program
+// gets its own digest, plus small corpus classics for variety. All of them
+// complete in well under a millisecond per evaluation on one PE.
+func ServePrograms(m int) []string {
+	base := []string{
+		"let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 10",
+		"let fac n = if n == 0 then 1 else n * fac (n - 1) in fac 8",
+		`let upto a b = if a > b then [] else a : upto (a + 1) b;
+		     sum xs = if isnil xs then 0 else head xs + sum (tail xs)
+		 in sum (upto 1 12)`,
+	}
+	out := make([]string, 0, m)
+	for i := 0; len(out) < m; i++ {
+		if i < len(base) {
+			out = append(out, base[i])
+			continue
+		}
+		k := i - len(base)
+		out = append(out, fmt.Sprintf(
+			"let go n acc = if n == 0 then acc else go (n - 1) (acc + n * %d) in go 16 %d",
+			k+2, k))
+	}
+	return out
+}
