@@ -147,54 +147,37 @@ func optionsFor(f flags, config string, seed int64, record bool) (dgr.Options, e
 	return o, nil
 }
 
-// maxFlakeRetries bounds the re-runs a parallel seed gets when it trips the
-// known rare false-deadlock race (see ROADMAP.md): the sweep corpus is
-// deadlock-free, so a clean-checker ErrDeadlock there is always spurious.
-const maxFlakeRetries = 3
-
 // sweep runs the clean matrix: every cell must produce the right value with
-// zero violations. It fails on the first offending run, after writing its
-// replay log. Every run arms the flight recorder with the output directory,
-// so a failing (or flaking) machine auto-dumps its last scheduler/collector/
-// fabric events next to the replay log.
+// zero violations — there are no retries. The sweep corpus is deadlock-free,
+// so an ErrDeadlock from any config is a detector bug (the epoch-confirmed
+// verdict protocol exists precisely so this can be a hard failure rather
+// than a counted flake), and it fails the sweep like any other wrong answer,
+// after writing the replay log and flight dump. Every run arms the flight
+// recorder with the output directory, so a failing machine auto-dumps its
+// last scheduler/collector/fabric events next to the replay log.
 func sweep(f flags) error {
 	configs, programs, err := selections(f)
 	if err != nil {
 		return err
 	}
-	runs, flakes := 0, 0
+	runs := 0
 	start := time.Now()
 	for _, p := range programs {
 		for _, config := range configs {
 			for seed := int64(1); seed <= int64(f.seeds); seed++ {
-				var (
-					m       *dgr.Machine
-					v       dgr.Value
-					evalErr error
-				)
-				for attempt := 0; ; attempt++ {
-					runs++
-					o := mustOptions(f, config, seed, true)
-					o.ObsFlightDir = f.out // auto-dump flight evidence on failure
-					m = dgr.New(o)
-					v, evalErr = m.Eval(p.Src)
-					m.Close()
-					if config == "parallel" && errors.Is(evalErr, dgr.ErrDeadlock) &&
-						m.CheckErr() == nil && attempt < maxFlakeRetries {
-						flakes++
-						dump := persistFlightDump(f, m,
-							fmt.Sprintf("dgr-check-flake-%s-%s-seed%d.flight.jsonl", p.Name, config, seed))
-						fmt.Printf("dgr-check: %s/%s seed %d false deadlock (known race), retrying; flight dump: %s\n",
-							p.Name, config, seed, dump)
-						continue
-					}
-					break
-				}
+				runs++
+				o := mustOptions(f, config, seed, true)
+				o.ObsFlightDir = f.out // auto-dump flight evidence on failure
+				m := dgr.New(o)
+				v, evalErr := m.Eval(p.Src)
+				m.Close()
 				bad := ""
 				switch {
 				case m.CheckErr() != nil:
 					bad = fmt.Sprintf("invariant violations:\n  %s",
 						strings.Join(m.CheckViolations(), "\n  "))
+				case errors.Is(evalErr, dgr.ErrDeadlock):
+					bad = fmt.Sprintf("spurious deadlock verdict on a deadlock-free program: %v", evalErr)
 				case evalErr != nil:
 					bad = fmt.Sprintf("eval error: %v", evalErr)
 				case v.Int != p.Want:
@@ -212,14 +195,14 @@ func sweep(f flags) error {
 				}
 				if f.verbose {
 					st := m.Stats()
-					fmt.Printf("ok %s/%s seed %d: tasks=%d cycles=%d checks=%d\n",
-						p.Name, config, seed, st.TasksExecuted, st.Cycles, st.CheckRuns)
+					fmt.Printf("ok %s/%s seed %d: tasks=%d cycles=%d checks=%d retracted=%d\n",
+						p.Name, config, seed, st.TasksExecuted, st.Cycles, st.CheckRuns, st.DeadlockRetracted)
 				}
 			}
 		}
 	}
-	fmt.Printf("dgr-check: %d runs clean (%d seeds x %d configs x %d programs, %d false-deadlock retries) in %v\n",
-		runs, f.seeds, len(configs), len(programs), flakes, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("dgr-check: %d runs clean (%d seeds x %d configs x %d programs, 0 false-deadlock retries — retries are gone) in %v\n",
+		runs, f.seeds, len(configs), len(programs), time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

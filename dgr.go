@@ -355,6 +355,11 @@ func New(opts Options) *Machine {
 		collCfg.AfterPhase = checker.AtPhaseEnd
 	}
 	collector = core.NewCollector(store, marker, mach, counters, collCfg)
+	if checker != nil {
+		// Late binding, as above: the checker's confirmed-verdict invariant
+		// reads the collector, which needs the machine the checker hooks.
+		checker.Coll = collector
+	}
 	m := &Machine{
 		opts: opts, store: store, mach: mach, marker: marker,
 		mut: mut, engine: engine, collector: collector, counters: counters,
@@ -515,7 +520,7 @@ func (m *Machine) pumpDeterministic(root NodeID, ch <-chan Value) (Value, error)
 		if m.mach.Inflight() == 0 {
 			// Quiescent without a value: deadlocked, erroneous, or waiting
 			// on tasks the collector just expunged. Give the detector two
-			// cycles (M_T cadence) before concluding.
+			// full M_T passes (candidate + confirmation) before concluding.
 			quietCycles++
 			// A vertex stuck on a runtime (type) error is semantically ⊥
 			// and will be reported deadlocked by M_T/M_R; surface the
@@ -523,7 +528,7 @@ func (m *Machine) pumpDeterministic(root NodeID, ch <-chan Value) (Value, error)
 			if errs := m.engine.Errors(); len(errs) > 0 {
 				return Value{}, fmt.Errorf("%w: %v", ErrStuck, errs[0])
 			}
-			if n := len(m.collector.Deadlocked()); n > 0 {
+			if n, ok := m.collector.TerminalVerdict(); ok {
 				m.dumpFlight("deadlock")
 				return Value{}, fmt.Errorf("%w: %d vertices", ErrDeadlock, n)
 			}
@@ -538,12 +543,15 @@ func (m *Machine) pumpDeterministic(root NodeID, ch <-chan Value) (Value, error)
 	return Value{}, ErrBudget
 }
 
-// maxQuietCycles ensures at least one M_T phase runs while quiescent.
+// maxQuietCycles ensures at least two M_T phases run while quiescent: the
+// first can only nominate a deadlock candidate, the second confirms it
+// (two-phase verdict), so concluding ErrStuck any earlier would shadow a
+// real deadlock still awaiting confirmation.
 func maxQuietCycles(mtEvery int) int {
 	if mtEvery <= 0 {
 		return 2
 	}
-	return mtEvery + 1
+	return 2*mtEvery + 1
 }
 
 func (m *Machine) waitParallel(ch <-chan Value) (Value, error) {
@@ -552,6 +560,10 @@ func (m *Machine) waitParallel(ch <-chan Value) (Value, error) {
 	defer deadline.Stop()
 	ticker := time.NewTicker(10 * time.Millisecond)
 	defer ticker.Stop()
+	// Quiet-cycle tracking for ErrStuck (see below): the collector cycle at
+	// which the reduction counter last changed, and that counter's value.
+	quietBase := int64(-1)
+	baseRed := int64(0)
 	for {
 		select {
 		case v := <-ch:
@@ -571,7 +583,10 @@ func (m *Machine) waitParallel(ch <-chan Value) (Value, error) {
 				return v, nil
 			default:
 			}
-			if n := len(m.collector.Deadlocked()); n > 0 && m.mach.Inflight() == 0 {
+			// TerminalVerdict evaluates "confirmed deadlock ∧ inflight == 0"
+			// under the collector's verdict lock, so the pair is one reading
+			// rather than the old racy two-instant check.
+			if n, ok := m.collector.TerminalVerdict(); ok {
 				m.dumpFlight("deadlock")
 				return Value{}, fmt.Errorf("%w: %d vertices", ErrDeadlock, n)
 			}
@@ -579,6 +594,23 @@ func (m *Machine) waitParallel(ch <-chan Value) (Value, error) {
 				if errs := m.engine.Errors(); len(errs) > 0 {
 					return Value{}, fmt.Errorf("%w: %v", ErrStuck, errs[0])
 				}
+				// Quiescent, no value, no errors, no confirmed deadlock.
+				// Mirror pumpDeterministic's quiet-cycle logic: if no
+				// reduction work has happened for maxQuietCycles collector
+				// cycles, the machine is stuck, not merely slow. Collector
+				// marking traffic makes Inflight bounce, so progress is
+				// measured by the reduction-task counter, and patience is
+				// measured in collector cycles so at least two M_T passes
+				// (candidate + confirmation) get to run first.
+				red := m.counters.ReductionTasks.Load()
+				cyc := m.collector.Cycles()
+				if quietBase < 0 || red != baseRed {
+					quietBase, baseRed = cyc, red
+				} else if cyc-quietBase > int64(maxQuietCycles(m.opts.MTEvery)) {
+					return Value{}, ErrStuck
+				}
+			} else {
+				quietBase = -1
 			}
 		case <-deadline.C:
 			return Value{}, ErrBudget

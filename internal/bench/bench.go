@@ -43,14 +43,6 @@ type Result struct {
 	// TasksPerOp is the mean number of tasks the scheduler executed per
 	// operation (0 where the case does not run the scheduler).
 	TasksPerOp float64 `json:"tasks_per_op,omitempty"`
-	// Retries counts iterations re-run after a failure of the known rare
-	// parallel-mode race (see ROADMAP.md): a spurious deadlock report or,
-	// rarer, a corrupted run (wrong value / stuck reduction). The suite's
-	// parallel workloads are deadlock-free and deterministic, so any such
-	// failure is the race. Retried work is excluded from the timings only
-	// by virtue of rerunning the whole pass, so a nonzero value flags the
-	// numbers as slightly inflated.
-	Retries int `json:"retries,omitempty"`
 
 	// ReqPerSec, P50Ns, P95Ns and CacheHitRate are filled only by the
 	// serve_throughput cases: end-to-end request rate through the serving
@@ -193,34 +185,23 @@ func Run(quick bool) (Report, error) {
 		rep.Results = append(rep.Results, res)
 	}
 
-	// fib across PE counts, parallel mode. Parallel runs can hit the known
-	// rare race (see ROADMAP.md): usually a spurious ErrDeadlock, rarely a
-	// corrupted run. fib is deadlock-free and deterministic, so any failed
-	// iteration is the race; retry it a bounded number of times and surface
-	// the count in the report rather than aborting the suite.
+	// fib across PE counts, parallel mode. fib is deadlock-free and
+	// deterministic, so any failed iteration is a machine bug and aborts
+	// the suite — the epoch-confirmed deadlock verdict removed the spurious
+	// ErrDeadlock these runs used to retry around.
 	p := workload.Programs["fib"]
 	for _, pes := range []int{1, 2, 4, 8} {
 		pes := pes
-		retries := 0
 		m, err := run(bt, func(n int) (int64, error) {
-			retries = 0
 			for i := 0; i < n; i++ {
-				var lastErr error
-				for attempt := 0; ; attempt++ {
-					if attempt == 5 {
-						return 0, fmt.Errorf("fib/pes=%d: %d attempts: %w", pes, attempt, lastErr)
-					}
-					mach := dgr.New(dgr.Options{PEs: pes, Parallel: true, Capacity: 1 << 16})
-					v, err := mach.Eval(p.Src)
-					mach.Close()
-					if err == nil && v.Int == p.Want {
-						break
-					}
-					retries++
-					lastErr = err
-					if err == nil {
-						lastErr = fmt.Errorf("fib/pes=%d = %v, want %d", pes, v, p.Want)
-					}
+				mach := dgr.New(dgr.Options{PEs: pes, Parallel: true, Capacity: 1 << 16})
+				v, err := mach.Eval(p.Src)
+				mach.Close()
+				if err != nil {
+					return 0, fmt.Errorf("fib/pes=%d: %w", pes, err)
+				}
+				if v.Int != p.Want {
+					return 0, fmt.Errorf("fib/pes=%d = %v, want %d", pes, v, p.Want)
 				}
 			}
 			return 0, nil
@@ -228,9 +209,7 @@ func Run(quick bool) (Report, error) {
 		if err != nil {
 			return rep, err
 		}
-		res := toResult(fmt.Sprintf("reduce-pes/fib/pes=%d", pes), pes, true, m)
-		res.Retries = retries
-		rep.Results = append(rep.Results, res)
+		rep.Results = append(rep.Results, toResult(fmt.Sprintf("reduce-pes/fib/pes=%d", pes), pes, true, m))
 	}
 
 	// Observability overhead: identical fib workloads with the obs layer
@@ -250,42 +229,25 @@ func Run(quick bool) (Report, error) {
 		{"obs-overhead/fib/parallel/obs=on", true, true},
 	} {
 		c := c
-		retries := 0
 		m, err := run(bt, func(n int) (int64, error) {
-			retries = 0
 			var tasks int64
 			for i := 0; i < n; i++ {
-				var lastErr error
-				for attempt := 0; ; attempt++ {
-					if attempt == 5 {
-						return 0, fmt.Errorf("%s: %d attempts: %w", c.name, attempt, lastErr)
-					}
-					mach := dgr.New(dgr.Options{
-						PEs:      4,
-						Seed:     int64(i),
-						Parallel: c.parallel,
-						Capacity: 1 << 16,
-						Obs:      c.obs,
-					})
-					v, err := mach.Eval(p.Src)
-					if err == nil && v.Int == p.Want {
-						tasks += mach.Stats().TasksExecuted
-						mach.Close()
-						break
-					}
-					mach.Close()
-					if !c.parallel {
-						if err == nil {
-							err = fmt.Errorf("%s = %v, want %d", c.name, v, p.Want)
-						}
-						return 0, fmt.Errorf("%s: %w", c.name, err)
-					}
-					retries++ // known parallel race; see the PE sweep above
-					lastErr = err
-					if err == nil {
-						lastErr = fmt.Errorf("%s = %v, want %d", c.name, v, p.Want)
-					}
+				mach := dgr.New(dgr.Options{
+					PEs:      4,
+					Seed:     int64(i),
+					Parallel: c.parallel,
+					Capacity: 1 << 16,
+					Obs:      c.obs,
+				})
+				v, err := mach.Eval(p.Src)
+				mach.Close()
+				if err != nil {
+					return 0, fmt.Errorf("%s: %w", c.name, err)
 				}
+				if v.Int != p.Want {
+					return 0, fmt.Errorf("%s = %v, want %d", c.name, v, p.Want)
+				}
+				tasks += mach.Stats().TasksExecuted
 			}
 			return tasks, nil
 		})
@@ -294,7 +256,6 @@ func Run(quick bool) (Report, error) {
 		}
 		res := toResult(c.name, 4, c.parallel, m)
 		res.TasksPerOp = float64(m.tasks) / float64(m.n)
-		res.Retries = retries
 		rep.Results = append(rep.Results, res)
 	}
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dgr/internal/analysis"
 	"dgr/internal/core"
 	"dgr/internal/graph"
 	"dgr/internal/metrics"
@@ -48,6 +49,11 @@ type Checker struct {
 	Mach     *sched.Machine
 	Counters *metrics.Counters // optional: check counters land here
 	Tracer   *trace.Tracer     // optional: check.violation events land here
+	// Coll, when set, enables the confirmed-verdict invariant: a vertex the
+	// collector has CONFIRMED deadlocked (two-phase verdict) can never reduce
+	// again, so it must not be freed, must not hold a value, and must not be
+	// task-reachable per the internal/analysis oracle.
+	Coll *core.Collector
 	// Every samples every k-th task execution via AfterExecute; 0 disables
 	// per-execution sampling (cycle-end and quiescence points still run).
 	Every uint64
@@ -112,6 +118,13 @@ func (c *Checker) AtCycleEnd(rep core.CycleReport) {
 	if rep.Completed {
 		errs = append(errs, c.markedClosureErrs(graph.CtxR)...)
 	}
+	if !c.Parallel {
+		// Deterministic cycle ends sit between scheduler steps, so the
+		// oracle's snapshot-plus-taskset reading is exact; in parallel mode
+		// the PEs are mutating under the sweep and the same invariant is
+		// asserted at the Close-time quiescence point instead.
+		errs = append(errs, c.confirmedDeadlockErrs()...)
+	}
 	c.report(fmt.Sprintf("cycle#%d", rep.Cycle), errs)
 }
 
@@ -149,6 +162,7 @@ func (c *Checker) AtQuiescence() {
 	errs = append(errs, c.bandErrs()...)
 	errs = append(errs, c.underflowErrs()...)
 	errs = append(errs, c.conservationErrs()...)
+	errs = append(errs, c.confirmedDeadlockErrs()...)
 	for _, ctx := range bothCtxs {
 		if c.Marker.Active(ctx) {
 			errs = append(errs, fmt.Sprintf(
@@ -275,6 +289,67 @@ func (c *Checker) markedClosureErrs(ctx graph.Ctx) []string {
 			}
 		}
 	})
+	return errs
+}
+
+// confirmedDeadlockErrs asserts the two-phase verdict's soundness against
+// ground truth: a CONFIRMED deadlock verdict claims the vertex can never
+// reduce again (reduction axiom 4 — deadlock is stable), so the vertex must
+// not have been freed, must not hold a value (that would mean the impossible
+// reduction happened), and — when unexecuted reduction tasks exist — must
+// not be in the sequential oracle's task-reachable set T (DL'_v = R'_v − T'
+// demands DL'_v ∩ T' = ∅). The value/freed legs carry the quiescent case,
+// where T is vacuously empty; the oracle leg bites at deterministic cycle
+// ends while tasks are still queued.
+func (c *Checker) confirmedDeadlockErrs() []string {
+	if c.Coll == nil {
+		return nil
+	}
+	dead := c.Coll.Deadlocked()
+	if len(dead) == 0 {
+		return nil
+	}
+	var errs []string
+	for _, id := range dead {
+		v := c.Store.Vertex(id)
+		if v == nil {
+			continue
+		}
+		v.Lock()
+		free := v.Kind == graph.KindFree
+		valued := v.IsValueLocked()
+		v.Unlock()
+		switch {
+		case free:
+			errs = append(errs, fmt.Sprintf(
+				"verdict: confirmed-deadlocked v%d was freed", id))
+		case valued:
+			errs = append(errs, fmt.Sprintf(
+				"verdict: confirmed-deadlocked v%d holds a value — the impossible reduction happened", id))
+		}
+	}
+	var tasks []task.Task
+	keep := func(t task.Task) {
+		if t.Kind.IsReduction() {
+			tasks = append(tasks, t)
+		}
+	}
+	for i := 0; i < c.Mach.PEs(); i++ {
+		c.Mach.Pool(i).Each(keep)
+	}
+	c.Mach.EachInTransit(keep)
+	for _, t := range c.Mach.CurrentTasks() {
+		keep(t)
+	}
+	if len(tasks) > 0 {
+		res := analysis.Analyze(c.Store.Snapshot(), c.Coll.Root(), tasks)
+		for _, id := range dead {
+			if res.T[id] {
+				errs = append(errs, fmt.Sprintf(
+					"verdict: confirmed-deadlocked v%d is task-reachable (DL'_v ⊄ R'_v − T')", id))
+			}
+		}
+	}
 	return errs
 }
 

@@ -103,7 +103,16 @@ type Collector struct {
 	mu         sync.Mutex
 	cycleN     int64
 	lastTEpoch uint64 // T epoch of the most recent M_T run
-	deadSet    map[graph.VertexID]bool
+
+	// Two-phase deadlock verdict state. An M_T cycle's DL'_v computation
+	// yields candidates, which go to pending with a sched.Watch armed over
+	// them; the next M_T cycle confirms a candidate into deadSet only if it
+	// was re-detected and no reduction activity touched the pending set in
+	// between. deadSet therefore holds only confirmed verdicts.
+	deadSet      map[graph.VertexID]bool
+	pending      map[graph.VertexID]bool
+	watch        *sched.Watch
+	verdictEpoch uint64 // advances whenever deadSet changes
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -118,6 +127,7 @@ func NewCollector(store *graph.Store, marker *Marker, mach *sched.Machine, count
 		counters: counters,
 		cfg:      cfg,
 		deadSet:  make(map[graph.VertexID]bool),
+		pending:  make(map[graph.VertexID]bool),
 	}
 }
 
@@ -154,20 +164,26 @@ func (c *Collector) Cycles() int64 {
 	return c.cycleN
 }
 
-// Forget removes vertices from the stable deadlocked record. It exists for
-// footnote 5's is-bottom recovery, which deliberately violates reduction
-// axiom 4: a resolved probe produces a value after all, so it must not
-// remain recorded (nor re-reported) as deadlocked.
+// Forget removes vertices from the deadlock verdict record, both confirmed
+// and pending. It exists for footnote 5's is-bottom recovery, which
+// deliberately violates reduction axiom 4: a resolved probe produces a
+// value after all, so it must not remain recorded (nor re-reported) as
+// deadlocked.
 func (c *Collector) Forget(ids []graph.VertexID) {
 	c.mu.Lock()
 	for _, id := range ids {
-		delete(c.deadSet, id)
+		if c.deadSet[id] {
+			delete(c.deadSet, id)
+			c.verdictEpoch++
+		}
+		delete(c.pending, id)
 	}
 	c.mu.Unlock()
 }
 
-// Deadlocked returns the accumulated set of vertices ever reported
-// deadlocked (deadlock is stable, reduction axiom 4).
+// Deadlocked returns the confirmed-deadlocked set: vertices whose verdict
+// survived a full M_T cycle untouched (deadlock is stable, reduction
+// axiom 4, so a genuine verdict always confirms).
 func (c *Collector) Deadlocked() []graph.VertexID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -176,6 +192,43 @@ func (c *Collector) Deadlocked() []graph.VertexID {
 		out = append(out, id)
 	}
 	return out
+}
+
+// PendingDeadlocked returns the candidate vertices detected by the most
+// recent M_T cycle that have not yet been confirmed (or retracted) by a
+// subsequent one.
+func (c *Collector) PendingDeadlocked() []graph.VertexID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]graph.VertexID, 0, len(c.pending))
+	for id := range c.pending {
+		out = append(out, id)
+	}
+	return out
+}
+
+// VerdictEpoch returns a counter that advances every time the confirmed
+// verdict set changes (confirmation, retraction of a confirmed entry via a
+// sweep, or Forget). Callers can use an unchanged epoch across a pair of
+// reads to know they observed one consistent verdict.
+func (c *Collector) VerdictEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.verdictEpoch
+}
+
+// TerminalVerdict evaluates the machine's terminal-deadlock condition — at
+// least one confirmed-deadlocked vertex AND no task queued, in transit, or
+// executing — as one atomic observation: both sides are read under the
+// verdict lock that every confirmation holds, so a caller can never pair a
+// stale verdict with a later quiescence (the TOCTOU the old
+// Deadlocked()/Inflight() call pair allowed). It returns the confirmed
+// count and whether the verdict is terminal.
+func (c *Collector) TerminalVerdict() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.deadSet)
+	return n, n > 0 && c.mach.Inflight() == 0
 }
 
 // taskRoots enumerates the marking roots for M_T: the source and
@@ -445,30 +498,45 @@ func (c *Collector) restructure(rep *CycleReport) {
 	c.store.ReleaseBatch(garbage)
 	rep.Reclaimed = len(garbage)
 
-	// Report newly deadlocked vertices.
-	if len(dead) > 0 {
-		c.mu.Lock()
-		var fresh []graph.VertexID
-		for _, id := range dead {
-			if !c.deadSet[id] {
-				c.deadSet[id] = true
-				fresh = append(fresh, id)
-			}
-		}
-		c.mu.Unlock()
+	// Two-phase deadlock verdict. This cycle's candidate set DL'_v feeds
+	// the report but is not yet believed: in parallel mode M_T's taskpool
+	// snapshot races the PEs, so a reduction that re-animates a candidate
+	// can hide between snapshot and verdict. A candidate becomes a
+	// confirmed verdict only after it survives a full further M_T cycle —
+	// still detected, with no reduction activity touching the pending set
+	// (the armed sched.Watch) in between. A genuine deadlock always
+	// survives, because deadlock is stable (reduction axiom 4); a racy
+	// misdetection is either not re-detected (the next snapshot sees the
+	// missed task or the delivered value) or touched, and is retracted.
+	if rep.MTRan {
 		rep.Deadlocked = dead
-		if len(fresh) > 0 {
+		confirmed, retracted := c.judgeVerdicts(dead, garbageSet)
+		if retracted > 0 {
 			if c.counters != nil {
-				c.counters.DeadlockedFound.Add(int64(len(fresh)))
+				c.counters.DeadlockRetracted.Add(int64(retracted))
 			}
 			if o != nil {
-				o.Event(obs.TIDCollector, "deadlock.found", uint64(fresh[0]), 0,
-					fmt.Sprintf("n=%d", len(fresh)))
-			}
-			if c.cfg.OnDeadlock != nil {
-				c.cfg.OnDeadlock(fresh)
+				o.Event(obs.TIDCollector, "deadlock.retracted", 0, 0,
+					fmt.Sprintf("n=%d", retracted))
 			}
 		}
+		if len(confirmed) > 0 {
+			if c.counters != nil {
+				c.counters.DeadlockedFound.Add(int64(len(confirmed)))
+			}
+			if o != nil {
+				o.Event(obs.TIDCollector, "deadlock.found", uint64(confirmed[0]), 0,
+					fmt.Sprintf("n=%d", len(confirmed)))
+			}
+			if c.cfg.OnDeadlock != nil {
+				c.cfg.OnDeadlock(confirmed)
+			}
+		} else if len(dead) > 0 && o != nil {
+			o.Event(obs.TIDCollector, "deadlock.pending", uint64(dead[0]), 0,
+				fmt.Sprintf("n=%d", len(dead)))
+		}
+	} else if len(garbageSet) > 0 {
+		c.purgeVerdicts(garbageSet)
 	}
 
 	if c.counters != nil {
@@ -476,6 +544,79 @@ func (c *Collector) restructure(rep *CycleReport) {
 		c.counters.Expunged.Add(int64(rep.Expunged))
 		c.counters.Reprioritized.Add(int64(rep.Reprioritized))
 	}
+}
+
+// purgeVerdicts drops swept vertices from the verdict record. A reclaimed
+// vertex's ID can be reused by an unrelated allocation (a root switch or
+// is-bottom recovery can make a once-deadlocked knot garbage), and a stale
+// record under a recycled ID would poison both the facade's deadlock check
+// and the checker's confirmed-verdict oracle. Caller must not hold c.mu.
+func (c *Collector) purgeVerdicts(garbage map[graph.VertexID]bool) {
+	c.mu.Lock()
+	for id := range garbage {
+		if c.deadSet[id] {
+			delete(c.deadSet, id)
+			c.verdictEpoch++
+		}
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// judgeVerdicts is the two-phase confirmation pass, run after every M_T
+// cycle's restructure. dead is this cycle's candidate set DL'_v. A pending
+// candidate from the previous M_T cycle is confirmed if it was re-detected
+// with the watch untouched; it is retracted if it was not re-detected (the
+// fresh snapshot saw the task or value the racy one missed); if it was
+// touched but still detected, it stays a candidate for another cycle under
+// a fresh watch. The surviving candidates become the new pending set.
+// Returns the newly confirmed vertices (sorted) and the retraction count.
+func (c *Collector) judgeVerdicts(dead []graph.VertexID, garbage map[graph.VertexID]bool) (confirmed []graph.VertexID, retracted int) {
+	detected := make(map[graph.VertexID]bool, len(dead))
+	for _, id := range dead {
+		detected[id] = true
+	}
+	c.mu.Lock()
+	for id := range garbage {
+		if c.deadSet[id] {
+			delete(c.deadSet, id)
+			c.verdictEpoch++
+		}
+		delete(c.pending, id)
+	}
+	clean := c.watch != nil && !c.watch.Touched()
+	for id := range c.pending {
+		switch {
+		case detected[id] && clean:
+			if !c.deadSet[id] {
+				c.deadSet[id] = true
+				c.verdictEpoch++
+				confirmed = append(confirmed, id)
+			}
+		case !detected[id]:
+			retracted++
+		}
+	}
+	next := make(map[graph.VertexID]bool, len(dead))
+	for _, id := range dead {
+		if !c.deadSet[id] {
+			next[id] = true
+		}
+	}
+	c.pending = next
+	if len(next) > 0 {
+		ids := make([]graph.VertexID, 0, len(next))
+		for id := range next {
+			ids = append(ids, id)
+		}
+		c.watch = sched.NewWatch(ids)
+	} else {
+		c.watch = nil
+	}
+	c.mach.SetWatch(c.watch)
+	c.mu.Unlock()
+	sort.Slice(confirmed, func(i, j int) bool { return confirmed[i] < confirmed[j] })
+	return confirmed, retracted
 }
 
 // Start launches the endless collection loop in parallel mode.

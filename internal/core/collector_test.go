@@ -140,11 +140,23 @@ func TestCollectorDeadlockDetection(t *testing.T) {
 	if !rep.MTRan {
 		t.Fatal("M_T did not run")
 	}
+	// Two-phase verdict: the first M_T pass only nominates a candidate.
+	if len(reported) != 0 {
+		t.Fatalf("deadlock reported after one M_T pass: %v", reported)
+	}
+	if got := col.Deadlocked(); len(got) != 0 {
+		t.Fatalf("confirmed deadlocked after one M_T pass: %v", got)
+	}
+	if got := col.PendingDeadlocked(); len(got) != 1 || got[0] != w.ID {
+		t.Fatalf("pending deadlocked = %v, want exactly [%d]", got, w.ID)
+	}
+	// The second pass re-detects the untouched candidate and confirms it.
+	col.RunCycle()
 	want := map[graph.VertexID]bool{w.ID: true}
 	if len(reported) != 1 || !want[reported[0]] {
 		t.Fatalf("deadlocked = %v, want exactly [%d]", reported, w.ID)
 	}
-	// Stability: a second cycle re-detects but does not re-report.
+	// Stability: a third cycle re-detects but does not re-report.
 	reported = nil
 	col.RunCycle()
 	if len(reported) != 0 {
@@ -376,5 +388,153 @@ func TestCollectorForget(t *testing.T) {
 	got := col.Deadlocked()
 	if len(got) != 1 || got[0] != 9 {
 		t.Fatalf("after Forget: %v", got)
+	}
+}
+
+// deadlockKnot builds a rig with a self-knotted vertex w vitally demanded by
+// root (the x = x+1 knot of Figure 3-1), a parked root demand keeping root
+// task-reachable, and an MTEvery=1 collector reporting into *reported.
+func deadlockKnot(t *testing.T, seed int64, reported *[]graph.VertexID) (*rig, *Collector, *graph.Vertex) {
+	t.Helper()
+	r := newRig(t, 2, seed, false)
+	root := r.vertex(graph.KindApply)
+	w := r.vertex(graph.KindApply)
+	r.edge(root, w, graph.ReqVital)
+	r.edge(w, w, graph.ReqVital)
+	w.Lock()
+	w.AddRequester(root.ID, graph.ReqVital)
+	w.AddRequester(w.ID, graph.ReqVital)
+	w.Unlock()
+	r.mach.SetHandler(NewDispatcher(r.marker, parkReducer(r.mach)))
+	r.mach.Spawn(task.Task{Kind: task.Demand, Src: graph.NilVertex, Dst: root.ID, Req: graph.ReqVital})
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{
+		Root:    root.ID,
+		MTEvery: 1,
+		OnDeadlock: func(ids []graph.VertexID) {
+			*reported = append(*reported, ids...)
+		},
+	})
+	return r, col, w
+}
+
+func TestCollectorVerdictRetractedOnNewTask(t *testing.T) {
+	// A candidate that the next M_T snapshot finds task-reachable again is
+	// retracted, not confirmed — the shape of the parallel false-deadlock
+	// race, where the first snapshot missed a task the second one sees.
+	var reported []graph.VertexID
+	r, col, w := deadlockKnot(t, 41, &reported)
+	col.RunCycle()
+	if got := col.PendingDeadlocked(); len(got) != 1 || got[0] != w.ID {
+		t.Fatalf("pending = %v, want [%d]", got, w.ID)
+	}
+	// The missed task materializes: w is demanded after all.
+	r.mach.Spawn(task.Task{Kind: task.Demand, Src: graph.NilVertex, Dst: w.ID, Req: graph.ReqVital})
+	col.RunCycle()
+	if len(reported) != 0 {
+		t.Fatalf("retracted candidate was reported: %v", reported)
+	}
+	if got := col.Deadlocked(); len(got) != 0 {
+		t.Fatalf("retracted candidate was confirmed: %v", got)
+	}
+	if got := col.PendingDeadlocked(); len(got) != 0 {
+		t.Fatalf("retracted candidate still pending: %v", got)
+	}
+	if got := r.counters.DeadlockRetracted.Load(); got != 1 {
+		t.Fatalf("DeadlockRetracted = %d, want 1", got)
+	}
+}
+
+func TestCollectorVerdictTouchedStaysPending(t *testing.T) {
+	// A candidate whose watch was touched stays pending even when
+	// re-detected: the touch means reduction activity brushed the reported
+	// set between the two snapshots, so the verdict waits for a clean cycle.
+	// The steal below reproduces the pop→publish invisibility window: the
+	// task leaves its pool (noting the watch under the pool lock) and is
+	// never published, so the next snapshot cannot see it.
+	var reported []graph.VertexID
+	r, col, w := deadlockKnot(t, 42, &reported)
+	col.RunCycle()
+	if got := col.PendingDeadlocked(); len(got) != 1 || got[0] != w.ID {
+		t.Fatalf("pending = %v, want [%d]", got, w.ID)
+	}
+	r.mach.Spawn(task.Task{Kind: task.Demand, Src: graph.NilVertex, Dst: w.ID, Req: graph.ReqVital})
+	stolen := false
+	for i := 0; i < r.mach.PEs(); i++ {
+		if _, ok := r.mach.Pool(i).TryPopWhere(func(tk task.Task) bool {
+			return tk.Kind == task.Demand && tk.Dst == w.ID
+		}); ok {
+			stolen = true
+		}
+	}
+	if !stolen {
+		t.Fatal("test setup: could not steal the demand on w")
+	}
+	col.RunCycle()
+	if len(reported) != 0 || len(col.Deadlocked()) != 0 {
+		t.Fatalf("touched candidate was confirmed: reported=%v dead=%v",
+			reported, col.Deadlocked())
+	}
+	if got := col.PendingDeadlocked(); len(got) != 1 || got[0] != w.ID {
+		t.Fatalf("touched candidate not re-nominated: pending=%v", got)
+	}
+	// A clean further cycle confirms (the knot really is deadlocked: the
+	// stolen demand was never executed).
+	col.RunCycle()
+	if len(reported) != 1 || reported[0] != w.ID {
+		t.Fatalf("reported = %v, want [%d]", reported, w.ID)
+	}
+}
+
+func TestCollectorForgetAcrossMT(t *testing.T) {
+	// Forget of a pending candidate and of a confirmed verdict, each across
+	// an M_T boundary: the forgotten vertex must be re-nominated from
+	// scratch (one full confirmation cycle again) and re-reported.
+	var reported []graph.VertexID
+	_, col, w := deadlockKnot(t, 43, &reported)
+
+	// Forget while pending.
+	col.RunCycle()
+	if got := col.PendingDeadlocked(); len(got) != 1 || got[0] != w.ID {
+		t.Fatalf("pending = %v, want [%d]", got, w.ID)
+	}
+	col.Forget([]graph.VertexID{w.ID})
+	if got := col.PendingDeadlocked(); len(got) != 0 {
+		t.Fatalf("pending after Forget = %v", got)
+	}
+	// The next cycle may only re-nominate, not confirm: confirmation
+	// requires surviving a full cycle as a candidate, and the candidacy was
+	// just forgotten.
+	col.RunCycle()
+	if len(reported) != 0 || len(col.Deadlocked()) != 0 {
+		t.Fatalf("forgotten pending candidate confirmed early: reported=%v dead=%v",
+			reported, col.Deadlocked())
+	}
+	col.RunCycle()
+	if len(reported) != 1 || reported[0] != w.ID {
+		t.Fatalf("reported = %v, want [%d]", reported, w.ID)
+	}
+
+	// Forget while confirmed (footnote 5's deliberate non-monotonicity).
+	e0 := col.VerdictEpoch()
+	col.Forget([]graph.VertexID{w.ID})
+	if e1 := col.VerdictEpoch(); e1 <= e0 {
+		t.Fatalf("verdict epoch did not advance on Forget: %d -> %d", e0, e1)
+	}
+	if got := col.Deadlocked(); len(got) != 0 {
+		t.Fatalf("deadlocked after Forget = %v", got)
+	}
+	// Re-detection restarts the two-phase protocol: nominate, then confirm
+	// and re-report.
+	reported = nil
+	col.RunCycle()
+	if len(reported) != 0 {
+		t.Fatalf("forgotten confirmed verdict re-reported without confirmation: %v", reported)
+	}
+	if got := col.PendingDeadlocked(); len(got) != 1 || got[0] != w.ID {
+		t.Fatalf("pending after forget-confirmed = %v, want [%d]", got, w.ID)
+	}
+	col.RunCycle()
+	if len(reported) != 1 || reported[0] != w.ID {
+		t.Fatalf("re-reported = %v, want [%d]", reported, w.ID)
 	}
 }

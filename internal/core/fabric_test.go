@@ -159,6 +159,15 @@ func TestMTSeesInTransitTasks(t *testing.T) {
 	if !rep.MTRan {
 		t.Fatal("M_T did not run")
 	}
+	// The in-transit-awaited vertices must not even be nominated.
+	for _, id := range col.PendingDeadlocked() {
+		if id == live1.ID || id == live2.ID {
+			t.Fatalf("in-transit-awaited vertex v%d nominated as deadlock candidate (pending=%v)",
+				id, col.PendingDeadlocked())
+		}
+	}
+	// Second M_T pass confirms the untouched knot (two-phase verdict).
+	col.RunCycle()
 	for _, id := range reported {
 		if id == live1.ID || id == live2.ID {
 			t.Fatalf("in-transit-awaited vertex v%d misreported as deadlocked (reported=%v)",

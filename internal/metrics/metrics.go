@@ -26,8 +26,9 @@ type Counters struct {
 	MTRuns          atomic.Int64 // cycles that included an M_T phase
 	Expunged        atomic.Int64 // irrelevant tasks deleted
 	Reprioritized   atomic.Int64 // tasks whose band changed in restructuring
-	DeadlockedFound atomic.Int64 // vertices reported deadlocked
-	CoopMarks       atomic.Int64 // marks spawned by cooperating mutator primitives
+	DeadlockedFound   atomic.Int64 // vertices with a confirmed deadlock verdict
+	DeadlockRetracted atomic.Int64 // candidate verdicts retracted before confirmation
+	CoopMarks         atomic.Int64 // marks spawned by cooperating mutator primitives
 	MaxPauseNs      atomic.Int64 // longest single mutator pause (stop-the-world baseline)
 	TotalPauseNs    atomic.Int64 // cumulative mutator pause time
 
@@ -170,12 +171,13 @@ type Snapshot struct {
 	Reclaimed       int64
 	Cycles          int64
 	MTRuns          int64
-	Expunged        int64
-	Reprioritized   int64
-	DeadlockedFound int64
-	CoopMarks       int64
-	MaxPauseNs      int64
-	TotalPauseNs    int64
+	Expunged          int64
+	Reprioritized     int64
+	DeadlockedFound   int64
+	DeadlockRetracted int64
+	CoopMarks         int64
+	MaxPauseNs        int64
+	TotalPauseNs      int64
 
 	CheckRuns       int64
 	CheckViolations int64
@@ -208,10 +210,11 @@ func (c *Counters) Snapshot() Snapshot {
 		MTRuns:          c.MTRuns.Load(),
 		Expunged:        c.Expunged.Load(),
 		Reprioritized:   c.Reprioritized.Load(),
-		DeadlockedFound: c.DeadlockedFound.Load(),
-		CoopMarks:       c.CoopMarks.Load(),
-		MaxPauseNs:      c.MaxPauseNs.Load(),
-		TotalPauseNs:    c.TotalPauseNs.Load(),
+		DeadlockedFound:   c.DeadlockedFound.Load(),
+		DeadlockRetracted: c.DeadlockRetracted.Load(),
+		CoopMarks:         c.CoopMarks.Load(),
+		MaxPauseNs:        c.MaxPauseNs.Load(),
+		TotalPauseNs:      c.TotalPauseNs.Load(),
 
 		CheckRuns:       c.CheckRuns.Load(),
 		CheckViolations: c.CheckViolations.Load(),
@@ -255,10 +258,11 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		MTRuns:          s.MTRuns + o.MTRuns,
 		Expunged:        s.Expunged + o.Expunged,
 		Reprioritized:   s.Reprioritized + o.Reprioritized,
-		DeadlockedFound: s.DeadlockedFound + o.DeadlockedFound,
-		CoopMarks:       s.CoopMarks + o.CoopMarks,
-		MaxPauseNs:      s.MaxPauseNs,
-		TotalPauseNs:    s.TotalPauseNs + o.TotalPauseNs,
+		DeadlockedFound:   s.DeadlockedFound + o.DeadlockedFound,
+		DeadlockRetracted: s.DeadlockRetracted + o.DeadlockRetracted,
+		CoopMarks:         s.CoopMarks + o.CoopMarks,
+		MaxPauseNs:        s.MaxPauseNs,
+		TotalPauseNs:      s.TotalPauseNs + o.TotalPauseNs,
 
 		CheckRuns:       s.CheckRuns + o.CheckRuns,
 		CheckViolations: s.CheckViolations + o.CheckViolations,
@@ -319,10 +323,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		MTRuns:          s.MTRuns - o.MTRuns,
 		Expunged:        s.Expunged - o.Expunged,
 		Reprioritized:   s.Reprioritized - o.Reprioritized,
-		DeadlockedFound: s.DeadlockedFound - o.DeadlockedFound,
-		CoopMarks:       s.CoopMarks - o.CoopMarks,
-		MaxPauseNs:      s.MaxPauseNs,
-		TotalPauseNs:    s.TotalPauseNs - o.TotalPauseNs,
+		DeadlockedFound:   s.DeadlockedFound - o.DeadlockedFound,
+		DeadlockRetracted: s.DeadlockRetracted - o.DeadlockRetracted,
+		CoopMarks:         s.CoopMarks - o.CoopMarks,
+		MaxPauseNs:        s.MaxPauseNs,
+		TotalPauseNs:      s.TotalPauseNs - o.TotalPauseNs,
 
 		CheckRuns:       s.CheckRuns - o.CheckRuns,
 		CheckViolations: s.CheckViolations - o.CheckViolations,

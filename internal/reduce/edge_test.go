@@ -97,6 +97,9 @@ func TestBottomProbeDirect(t *testing.T) {
 			r.engine.ResolveBottomProbes(ids)
 		},
 	})
+	// Two cycles: the first M_T pass nominates the knot, the second confirms
+	// it (two-phase verdict) and fires OnDeadlock.
+	col.RunCycle()
 	col.RunCycle()
 	r.mach.RunToQuiescence(1_000_000)
 	select {

@@ -61,6 +61,41 @@ type HandlerFunc func(task.Task)
 // Handle implements Handler.
 func (f HandlerFunc) Handle(t task.Task) { f(t) }
 
+// Watch observes the machine for reduction activity touching a fixed vertex
+// set. The collector arms one over each pending (unconfirmed) deadlock
+// verdict: any reduction task spawned, popped for execution, or delivered by
+// the fabric whose source or destination lies in the watched set marks the
+// watch touched, which vetoes confirmation at the next M_T cycle. Marking
+// tasks deliberately do not count — M_R legally visits genuinely deadlocked
+// vertices every cycle, and marking cannot re-animate anything.
+type Watch struct {
+	ids     map[graph.VertexID]bool
+	touched atomic.Bool
+}
+
+// NewWatch builds a watch over ids. The set is immutable afterwards, so
+// Note is safe from any goroutine.
+func NewWatch(ids []graph.VertexID) *Watch {
+	w := &Watch{ids: make(map[graph.VertexID]bool, len(ids))}
+	for _, id := range ids {
+		w.ids[id] = true
+	}
+	return w
+}
+
+// Touched reports whether any reduction activity reached the watched set.
+func (w *Watch) Touched() bool { return w.touched.Load() }
+
+// Note records one task event against the watch.
+func (w *Watch) Note(t task.Task) {
+	if !t.Kind.IsReduction() || w.touched.Load() {
+		return
+	}
+	if w.ids[t.Src] || w.ids[t.Dst] {
+		w.touched.Store(true)
+	}
+}
+
 // Config parameterizes a Machine.
 type Config struct {
 	// PEs is the number of processing elements (≥1).
@@ -145,6 +180,12 @@ type Machine struct {
 	// per machine suffices and Step allocates nothing.
 	stepScratch []int
 
+	// watch is the collector's armed re-animation watch, nil when no
+	// deadlock verdict is pending. The spawn/deliver hot paths pay one
+	// atomic pointer load for it; the pop path pays a nil func check
+	// (the pool hooks are installed only while a watch is armed).
+	watch atomic.Pointer[Watch]
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -187,10 +228,35 @@ func New(cfg Config) *Machine {
 	if cfg.Fabric != nil {
 		m.fab = cfg.Fabric
 		m.fab.SetDeliver(func(pe int, ts []task.Task) {
+			// A delivery can re-animate a vertex under a pending deadlock
+			// verdict; note it before the batch becomes poppable.
+			if w := m.watch.Load(); w != nil {
+				for _, t := range ts {
+					w.Note(t)
+				}
+			}
 			m.pools[pe].PushBatch(ts)
 		})
 	}
 	return m
+}
+
+// SetWatch arms (or, with nil, clears) the re-animation watch over the task
+// flow. While armed, every spawned, delivered, and popped task is noted
+// against it. The pop-side note runs under the pool lock — the same lock
+// M_T's taskpool snapshot (Pool.Each) takes — so for any task the snapshot
+// either still sees it queued or the watch already saw it popped; the
+// window in which a task is in neither view (popped but not yet published
+// as executing) cannot hide a re-animation from the verdict judge.
+func (m *Machine) SetWatch(w *Watch) {
+	m.watch.Store(w)
+	var fn func(task.Task)
+	if w != nil {
+		fn = w.Note
+	}
+	for _, p := range m.pools {
+		p.SetOnPop(fn)
+	}
 }
 
 // SetHandler installs the task executor. It must be called exactly once,
@@ -249,6 +315,9 @@ func (m *Machine) originOf(t task.Task) int {
 func (m *Machine) Spawn(t task.Task) {
 	if fn := m.cfg.OnSpawn; fn != nil {
 		fn(t)
+	}
+	if w := m.watch.Load(); w != nil {
+		w.Note(t)
 	}
 	dst := m.PartOf(t.Dst)
 	origin := m.originOf(t)

@@ -22,6 +22,13 @@ type Pool struct {
 	waiters int
 	// closed stops blocking waiters.
 	closed bool
+	// onPop, when set, observes every popped task while the pool lock is
+	// still held. Because Each holds the same lock, any observer that reads
+	// both is guaranteed one of the two views of a task: still queued (Each
+	// sees it) or already popped (onPop fired first). The collector's
+	// deadlock-verdict watch relies on this to close the window in which a
+	// popped-but-not-yet-published task is invisible to M_T's snapshot.
+	onPop func(Task)
 }
 
 // NewPool returns an empty pool.
@@ -29,6 +36,16 @@ func NewPool() *Pool {
 	p := &Pool{}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// SetOnPop installs (or, with nil, clears) the pop observer. The hook runs
+// under the pool lock and must not call back into the pool. It is armed
+// only while a deadlock verdict is pending, so the steady-state pop path
+// pays a nil check.
+func (p *Pool) SetOnPop(fn func(Task)) {
+	p.mu.Lock()
+	p.onPop = fn
+	p.mu.Unlock()
 }
 
 // Wakeup policy: every push wakes exactly as many waiters as it queued
@@ -111,7 +128,11 @@ func (p *Pool) popLocked() (Task, bool) {
 	for b := int(numBands) - 1; b >= 0; b-- {
 		if p.bands[b].len() > 0 {
 			p.n--
-			return p.bands[b].popFront(), true
+			t := p.bands[b].popFront()
+			if p.onPop != nil {
+				p.onPop(t)
+			}
+			return t, true
 		}
 	}
 	return Task{}, false
@@ -129,7 +150,11 @@ func (p *Pool) TryPopWhere(pred func(Task) bool) (Task, bool) {
 		for i := 0; i < r.len(); i++ {
 			if pred(*r.at(i)) {
 				p.n--
-				return r.removeAt(i), true
+				t := r.removeAt(i)
+				if p.onPop != nil {
+					p.onPop(t)
+				}
+				return t, true
 			}
 		}
 	}
@@ -149,7 +174,11 @@ func (p *Pool) TryPopRandom(rng *rand.Rand) (Task, bool) {
 	for b := range p.bands {
 		if k < p.bands[b].len() {
 			p.n--
-			return p.bands[b].removeAt(k), true
+			t := p.bands[b].removeAt(k)
+			if p.onPop != nil {
+				p.onPop(t)
+			}
+			return t, true
 		}
 		k -= p.bands[b].len()
 	}

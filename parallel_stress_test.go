@@ -101,6 +101,49 @@ func TestParallelRepeatedEvals(t *testing.T) {
 	}
 }
 
+// TestParallelFalseDeadlockStress hammers the deadlock detector's historic
+// racy window: parallel machines with M_T on every cycle and the collector
+// paced as hot as it will go, evaluating live programs to completion over
+// and over. Every program terminates, so any ErrDeadlock — or any nonzero
+// DeadlockedFound — is a false verdict: the M_T snapshot raced a reduction
+// or an in-flight delivery and the two-phase confirmation failed to retract
+// it. Scaled down, never skipped, under -short: this is the standing
+// regression surface for the false-deadlock race.
+func TestParallelFalseDeadlockStress(t *testing.T) {
+	rounds := 30
+	if testing.Short() {
+		rounds = 6
+	}
+	want := map[int]int64{9: 34, 10: 55, 11: 89}
+	for i := 0; i < rounds; i++ {
+		n := 9 + i%3
+		m := New(Options{
+			PEs:      4,
+			Parallel: true,
+			MTEvery:  1,
+			Seed:     int64(i),
+			Pace:     time.Nanosecond, // continuous collection: maximize snapshot/mutator overlap
+			Timeout:  2 * time.Minute,
+			Capacity: 1 << 14,
+		})
+		src := fmt.Sprintf("let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib %d", n)
+		v, err := m.Eval(src)
+		s := m.Stats()
+		m.Close()
+		if err != nil {
+			t.Fatalf("round %d: %v (DeadlockedFound=%d DeadlockRetracted=%d)",
+				i, err, s.DeadlockedFound, s.DeadlockRetracted)
+		}
+		if v.Int != want[n] {
+			t.Fatalf("round %d: fib %d = %v, want %d", i, n, v, want[n])
+		}
+		if s.DeadlockedFound != 0 {
+			t.Fatalf("round %d: confirmed deadlock verdict on a completed run (found=%d retracted=%d)",
+				i, s.DeadlockedFound, s.DeadlockRetracted)
+		}
+	}
+}
+
 // TestNoGoroutineLeaks verifies Close tears down PE goroutines and the
 // collector.
 func TestNoGoroutineLeaks(t *testing.T) {
