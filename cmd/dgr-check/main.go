@@ -26,18 +26,21 @@ import (
 
 	"dgr"
 	"dgr/internal/check"
+	"dgr/internal/lang"
 	"dgr/internal/workload"
 )
+
+type sweepProgram struct {
+	Name string
+	Src  string
+	Want int64
+}
 
 // sweepPrograms is the sweep corpus: scaled-down versions of the benchmark
 // programs, small enough that a 64-seed x 4-config sweep stays in seconds
 // while still exercising reduction, list churn (GC pressure), and
-// speculation-free recursion.
-var sweepPrograms = []struct {
-	Name string
-	Src  string
-	Want int64
-}{
+// speculation-free recursion. -gen appends property-generated programs.
+var sweepPrograms = []sweepProgram{
 	{
 		Name: "fib",
 		Src:  "let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 11",
@@ -70,7 +73,10 @@ type flags struct {
 	gcInterval int
 	mtEvery    int
 	configs    string
+	engines    string
 	programs   string
+	gen        int
+	genSeed    int64
 	inject     int64
 	out        string
 	timeout    time.Duration
@@ -93,7 +99,10 @@ func run() error {
 	flag.IntVar(&f.gcInterval, "gcinterval", 300, "deterministic steps between GC cycles")
 	flag.IntVar(&f.mtEvery, "mtevery", 2, "run M_T every k-th cycle")
 	flag.StringVar(&f.configs, "configs", strings.Join(allConfigs, ","), "comma-separated configs to sweep")
+	flag.StringVar(&f.engines, "engines", dgr.EngineInterp, "comma-separated reduction engines to sweep (interp,compiled)")
 	flag.StringVar(&f.programs, "programs", "", "comma-separated sweep programs (default: all)")
+	flag.IntVar(&f.gen, "gen", 0, "append n property-generated programs to the sweep corpus")
+	flag.Int64Var(&f.genSeed, "genseed", 20260808, "seed for the program generator (-gen)")
 	flag.Int64Var(&f.inject, "inject", 0, "arm the mark-skip fault injector (1/n of marks dropped); the sweep then must catch it")
 	flag.StringVar(&f.out, "out", ".", "directory for replay logs written on failure")
 	flag.DurationVar(&f.timeout, "timeout", 5*time.Second, "parallel evaluation timeout")
@@ -101,6 +110,9 @@ func run() error {
 	flag.BoolVar(&f.verbose, "v", false, "log every run")
 	flag.Parse()
 
+	if f.gen > 0 {
+		genPrograms = generatePrograms(f.gen, f.genSeed)
+	}
 	if f.replay != "" {
 		return replayLog(f)
 	}
@@ -108,6 +120,57 @@ func run() error {
 		return injectSweep(f)
 	}
 	return sweep(f)
+}
+
+// genPrograms holds the property-generated tail of the sweep corpus
+// (-gen n -genseed s). Generation is deterministic in the seed, so a
+// failure in genK replays by rerunning with the same -gen/-genseed flags.
+var genPrograms []sweepProgram
+
+// generatePrograms draws n closed integer programs from the property
+// generator. Each comes with its reference value (the generator validates
+// against the lang interpreter), so the sweep checks them like any
+// hand-written corpus entry.
+func generatePrograms(n int, seed int64) []sweepProgram {
+	g := lang.NewGen(seed, lang.GenConfig{})
+	out := make([]sweepProgram, 0, n)
+	for i := 1; i <= n; i++ {
+		_, src, want := g.Program()
+		out = append(out, sweepProgram{
+			Name: fmt.Sprintf("gen%d", i),
+			Src:  src,
+			Want: want,
+		})
+	}
+	return out
+}
+
+// engineList parses -engines into validated dgr engine names.
+func engineList(f flags) ([]string, error) {
+	var out []string
+	for _, e := range strings.Split(f.engines, ",") {
+		e = strings.TrimSpace(e)
+		switch e {
+		case "":
+		case dgr.EngineInterp, dgr.EngineCompiled:
+			out = append(out, e)
+		default:
+			return nil, fmt.Errorf("unknown engine %q (have %s,%s)", e, dgr.EngineInterp, dgr.EngineCompiled)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no engines selected")
+	}
+	return out, nil
+}
+
+// cellName renders a (config, engine) cell for logs and artifact names;
+// the plain interpreter keeps the historical bare-config form.
+func cellName(config, engine string) string {
+	if engine == dgr.EngineInterp {
+		return config
+	}
+	return config + "+" + engine
 }
 
 func optionsFor(f flags, config string, seed int64, record bool) (dgr.Options, error) {
@@ -160,49 +223,57 @@ func sweep(f flags) error {
 	if err != nil {
 		return err
 	}
+	engines, err := engineList(f)
+	if err != nil {
+		return err
+	}
 	runs := 0
 	start := time.Now()
 	for _, p := range programs {
 		for _, config := range configs {
-			for seed := int64(1); seed <= int64(f.seeds); seed++ {
-				runs++
-				o := mustOptions(f, config, seed, true)
-				o.ObsFlightDir = f.out // auto-dump flight evidence on failure
-				m := dgr.New(o)
-				v, evalErr := m.Eval(p.Src)
-				m.Close()
-				bad := ""
-				switch {
-				case m.CheckErr() != nil:
-					bad = fmt.Sprintf("invariant violations:\n  %s",
-						strings.Join(m.CheckViolations(), "\n  "))
-				case errors.Is(evalErr, dgr.ErrDeadlock):
-					bad = fmt.Sprintf("spurious deadlock verdict on a deadlock-free program: %v", evalErr)
-				case evalErr != nil:
-					bad = fmt.Sprintf("eval error: %v", evalErr)
-				case v.Int != p.Want:
-					bad = fmt.Sprintf("wrong result: got %d, want %d", v.Int, p.Want)
-				}
-				if bad != "" {
-					path, werr := writeReplayLog(f, m, p.Name, config, seed)
-					if werr != nil {
-						path = fmt.Sprintf("(log write failed: %v)", werr)
+			for _, eng := range engines {
+				cell := cellName(config, eng)
+				for seed := int64(1); seed <= int64(f.seeds); seed++ {
+					runs++
+					o := mustOptions(f, config, seed, true)
+					o.Engine = eng
+					o.ObsFlightDir = f.out // auto-dump flight evidence on failure
+					m := dgr.New(o)
+					v, evalErr := m.Eval(p.Src)
+					m.Close()
+					bad := ""
+					switch {
+					case m.CheckErr() != nil:
+						bad = fmt.Sprintf("invariant violations:\n  %s",
+							strings.Join(m.CheckViolations(), "\n  "))
+					case errors.Is(evalErr, dgr.ErrDeadlock):
+						bad = fmt.Sprintf("spurious deadlock verdict on a deadlock-free program: %v", evalErr)
+					case evalErr != nil:
+						bad = fmt.Sprintf("eval error: %v", evalErr)
+					case v.Int != p.Want:
+						bad = fmt.Sprintf("wrong result: got %d, want %d", v.Int, p.Want)
 					}
-					flight := persistFlightDump(f, m,
-						fmt.Sprintf("dgr-check-fail-%s-%s-seed%d.flight.jsonl", p.Name, config, seed))
-					return fmt.Errorf("%s/%s seed %d FAILED: %s\nreplay log: %s\nflight dump: %s",
-						p.Name, config, seed, bad, path, flight)
-				}
-				if f.verbose {
-					st := m.Stats()
-					fmt.Printf("ok %s/%s seed %d: tasks=%d cycles=%d checks=%d retracted=%d\n",
-						p.Name, config, seed, st.TasksExecuted, st.Cycles, st.CheckRuns, st.DeadlockRetracted)
+					if bad != "" {
+						path, werr := writeReplayLog(f, m, p.Name, cell, seed)
+						if werr != nil {
+							path = fmt.Sprintf("(log write failed: %v)", werr)
+						}
+						flight := persistFlightDump(f, m,
+							fmt.Sprintf("dgr-check-fail-%s-%s-seed%d.flight.jsonl", p.Name, cell, seed))
+						return fmt.Errorf("%s/%s seed %d FAILED: %s\nreplay log: %s\nflight dump: %s",
+							p.Name, cell, seed, bad, path, flight)
+					}
+					if f.verbose {
+						st := m.Stats()
+						fmt.Printf("ok %s/%s seed %d: tasks=%d cycles=%d checks=%d retracted=%d\n",
+							p.Name, cell, seed, st.TasksExecuted, st.Cycles, st.CheckRuns, st.DeadlockRetracted)
+					}
 				}
 			}
 		}
 	}
-	fmt.Printf("dgr-check: %d runs clean (%d seeds x %d configs x %d programs, 0 false-deadlock retries — retries are gone) in %v\n",
-		runs, f.seeds, len(configs), len(programs), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("dgr-check: %d runs clean (%d seeds x %d configs x %d engines x %d programs, 0 false-deadlock retries — retries are gone) in %v\n",
+		runs, f.seeds, len(configs), len(engines), len(programs), time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -321,6 +392,11 @@ func replayLog(f flags) error {
 	o.Adversarial = false
 	o.PEs = meta.PEs
 	o.MTEvery = meta.MTEvery
+	// The engine is part of the recorded cell name: a compiled-engine
+	// schedule only replays on a compiled-engine machine.
+	if strings.HasSuffix(meta.Config, "+"+dgr.EngineCompiled) {
+		o.Engine = dgr.EngineCompiled
+	}
 	m := dgr.New(o)
 	defer m.Close()
 	root, err := m.Compile(src)
@@ -361,11 +437,7 @@ func writeReplayLog(f flags, m *dgr.Machine, program, config string, seed int64)
 	return path, nil
 }
 
-func selections(f flags) (configs []string, programs []struct {
-	Name string
-	Src  string
-	Want int64
-}, err error) {
+func selections(f flags) (configs []string, programs []sweepProgram, err error) {
 	for _, c := range strings.Split(f.configs, ",") {
 		c = strings.TrimSpace(c)
 		if c == "" {
@@ -392,6 +464,12 @@ func selections(f flags) (configs []string, programs []struct {
 			delete(want, p.Name)
 		}
 	}
+	for _, p := range genPrograms {
+		if all || want[p.Name] {
+			programs = append(programs, p)
+			delete(want, p.Name)
+		}
+	}
 	for p := range want {
 		return nil, nil, fmt.Errorf("unknown sweep program %q", p)
 	}
@@ -407,9 +485,15 @@ func mustOptions(f flags, config string, seed int64, record bool) dgr.Options {
 }
 
 // sourceFor resolves a program name recorded in a meta header: the sweep
-// corpus first, then the full benchmark corpus.
+// corpus first (including any -gen tail regenerated from -genseed), then
+// the full benchmark corpus.
 func sourceFor(name string) (string, bool) {
 	for _, p := range sweepPrograms {
+		if p.Name == name {
+			return p.Src, true
+		}
+	}
+	for _, p := range genPrograms {
 		if p.Name == name {
 			return p.Src, true
 		}

@@ -44,6 +44,7 @@ func run() error {
 	var (
 		pes       = flag.Int("pes", 4, "number of processing elements")
 		parallel  = flag.Bool("parallel", false, "run PEs as goroutines (default: deterministic)")
+		engine    = flag.String("engine", dgr.EngineInterp, "reduction engine: interp or compiled")
 		seed      = flag.Int64("seed", 1, "deterministic scheduling seed")
 		spec      = flag.Bool("spec", false, "speculatively evaluate if branches")
 		mtEvery   = flag.Int("mtevery", 4, "run deadlock detection every k-th GC cycle (0 = never)")
@@ -98,6 +99,7 @@ func run() error {
 	m := dgr.New(dgr.Options{
 		PEs:           *pes,
 		Parallel:      *parallel,
+		Engine:        *engine,
 		Seed:          *seed,
 		SpeculativeIf: *spec,
 		MTEvery:       mtCfg,

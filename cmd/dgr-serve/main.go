@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"dgr"
 	"dgr/internal/serve"
 	"dgr/internal/task"
 	"dgr/internal/workload"
@@ -55,6 +56,7 @@ func run() error {
 		inflight = flag.Int("inflight", 8, "default per-tenant in-flight limit")
 		quota    = flag.Int("quota", 0, "default per-tenant vertex quota (0 = capacity/2)")
 		check    = flag.Bool("check", true, "run pooled machines with the invariant checker")
+		engine   = flag.String("engine", dgr.EngineInterp, "reduction engine for pooled machines: interp or compiled")
 		obsOn    = flag.Bool("obs", false, "enable the observability layer on pooled machines")
 		grace    = flag.Duration("grace", 5*time.Second, "drain timeout on shutdown")
 
@@ -86,7 +88,7 @@ func run() error {
 	s := serve.New(serve.Options{
 		Workers: *workers, PEs: *pes, Parallel: *parallel, Seed: *seed,
 		Capacity: *capacity, MaxSteps: *maxSteps, Timeout: *timeout,
-		Check: *check, Obs: *obsOn,
+		Check: *check, Obs: *obsOn, Engine: *engine,
 		QueueDepth: *queue, CacheEntries: *cacheN,
 		DefaultLimits: serve.TenantLimits{MaxInflight: *inflight, VertexQuota: *quota},
 	})

@@ -25,9 +25,18 @@ import (
 // and restructure event, in log order).
 func scheduleDigest(t *testing.T, seed int64, pes int, src string, want int64) string {
 	t.Helper()
+	return engineScheduleDigest(t, seed, pes, "", src, want)
+}
+
+// engineScheduleDigest is scheduleDigest with an explicit engine selection
+// (the compiled backend executes a different — but equally deterministic —
+// task sequence, so it pins its own goldens).
+func engineScheduleDigest(t *testing.T, seed int64, pes int, engine, src string, want int64) string {
+	t.Helper()
 	m := dgr.New(dgr.Options{
 		PEs:            pes,
 		Seed:           seed,
+		Engine:         engine,
 		Capacity:       1 << 14,
 		RecordSchedule: true,
 	})
@@ -92,6 +101,44 @@ func TestScheduleDeterminismGolden(t *testing.T) {
 			}
 			if got != want {
 				t.Errorf("schedule digest = %s, want %s (the deterministic task sequence changed)", got, want)
+			}
+		})
+	}
+}
+
+// goldenCompiledSchedules pins the compiled engine's schedule digests for
+// the same configurations. The compiled backend reduces fib in far fewer,
+// coarser task executions (one supercombinator body per task), so these
+// digests differ from the interpreted goldens by design — but they are
+// just as brittle against any change to scheduling, allocation order, or
+// the compiler's instruction selection.
+var goldenCompiledSchedules = map[string]string{
+	"seed=42/pes=1": "311ff46fddd489e7",
+	"seed=42/pes=4": "ae9b782d3d2bb2c4",
+	"seed=7/pes=3":  "2f426320f12cb357",
+}
+
+// TestScheduleDeterminismCompiledGolden pins the compiled engine's
+// deterministic task sequence exactly as the interpreted goldens do.
+func TestScheduleDeterminismCompiledGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		seed int64
+		pes  int
+	}{
+		{"seed=42/pes=1", 42, 1},
+		{"seed=42/pes=4", 42, 4},
+		{"seed=7/pes=3", 7, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := engineScheduleDigest(t, tc.seed, tc.pes, dgr.EngineCompiled, detFib, 144)
+			want := goldenCompiledSchedules[tc.name]
+			if want == "" {
+				t.Fatalf("no golden digest recorded; got %s", got)
+			}
+			if got != want {
+				t.Errorf("compiled schedule digest = %s, want %s (the deterministic task sequence changed)", got, want)
 			}
 		})
 	}

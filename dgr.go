@@ -30,6 +30,7 @@ import (
 	"dgr/internal/check"
 	"dgr/internal/core"
 	"dgr/internal/fabric"
+	"dgr/internal/gm"
 	"dgr/internal/graph"
 	"dgr/internal/lang"
 	"dgr/internal/metrics"
@@ -52,6 +53,14 @@ type (
 	GCReport = core.CycleReport
 )
 
+// Engine names accepted by Options.Engine.
+const (
+	// EngineInterp is the interpreted Turner-combinator backend.
+	EngineInterp = "interp"
+	// EngineCompiled is the compiled supercombinator backend.
+	EngineCompiled = "compiled"
+)
+
 // Errors returned by evaluation.
 var (
 	// ErrDeadlock: the computation can never complete; the collector
@@ -71,6 +80,14 @@ var (
 type Options struct {
 	// PEs is the number of processing elements (default 1).
 	PEs int
+	// Engine selects the reduction backend: "interp" (default) reduces
+	// Turner-combinator graphs one rewrite at a time; "compiled"
+	// lambda-lifts programs into supercombinators whose bodies execute as
+	// compiled instruction sequences (internal/gm), building each result
+	// subgraph in one task execution. Both backends share the vertex-level
+	// args/req-args discipline, so marking, deadlock detection, and the
+	// invariant checker behave identically.
+	Engine string
 	// Parallel runs one goroutine per PE plus a background collector;
 	// otherwise the machine is deterministic (seeded) and driven by Eval.
 	Parallel bool
@@ -170,6 +187,9 @@ func (o Options) withDefaults() Options {
 	if o.PEs < 1 {
 		o.PEs = 1
 	}
+	if o.Engine == "" {
+		o.Engine = EngineInterp
+	}
 	if o.MTEvery == 0 {
 		o.MTEvery = 4
 	} else if o.MTEvery < 0 {
@@ -207,6 +227,7 @@ type Machine struct {
 	marker    *core.Marker
 	mut       *core.Mutator
 	engine    *reduce.Engine
+	prog      *gm.Program
 	collector *core.Collector
 	counters  *metrics.Counters
 	fab       *fabric.Fabric
@@ -329,8 +350,13 @@ func New(opts Options) *Machine {
 		}
 	}
 	mut := core.NewMutator(store, marker, mach, counters)
+	var prog *gm.Program
+	if opts.Engine == EngineCompiled {
+		prog = gm.NewProgram()
+	}
 	engine := reduce.New(store, mach, mut, reduce.Config{
 		SpeculativeIf: opts.SpeculativeIf,
+		Prog:          prog,
 		Counters:      counters,
 	})
 	mach.SetHandler(core.NewDispatcher(marker, engine))
@@ -362,8 +388,9 @@ func New(opts Options) *Machine {
 	}
 	m := &Machine{
 		opts: opts, store: store, mach: mach, marker: marker,
-		mut: mut, engine: engine, collector: collector, counters: counters,
-		fab: fab, tracer: tracer, checker: checker, recorder: recorder,
+		mut: mut, engine: engine, prog: prog, collector: collector,
+		counters: counters,
+		fab:      fab, tracer: tracer, checker: checker, recorder: recorder,
 		obs: ob,
 	}
 	if checker != nil && ob != nil {
@@ -437,12 +464,21 @@ func (m *Machine) Close() {
 	m.obs.Close()
 }
 
-// Compile translates a program to a combinator graph and returns its root.
+// Compile translates a program to a reducible graph and returns its root:
+// a Turner-combinator graph under the interpreted engine, a
+// supercombinator-calling graph (with bodies registered in the machine's
+// gm.Program) under the compiled engine.
 func (m *Machine) Compile(src string) (NodeID, error) {
 	if m.closed.Load() {
 		return 0, ErrClosed
 	}
-	v, err := lang.CompileString(m.store, src)
+	var v *graph.Vertex
+	var err error
+	if m.prog != nil {
+		v, err = lang.CompileSupers(m.store, m.prog, src)
+	} else {
+		v, err = lang.CompileString(m.store, src)
+	}
 	if err != nil {
 		return 0, err
 	}

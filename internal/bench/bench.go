@@ -259,6 +259,47 @@ func Run(quick bool) (Report, error) {
 		rep.Results = append(rep.Results, res)
 	}
 
+	// Compiled-vs-interpreted A/B: the same corpus programs on the same
+	// machine configuration, the two engines measured back to back so each
+	// pair shares ambient conditions (the same discipline as the
+	// obs-overhead pairs). The compiled rows are the acceptance numbers for
+	// the supercombinator backend: one compiled body execution replaces a
+	// chain of combinator rewrites, so ns/op and tasks/op both drop.
+	for _, name := range []string{"fib", "fac", "sumsquares"} {
+		name := name
+		cp := workload.Programs[name]
+		for _, engine := range []string{dgr.EngineInterp, dgr.EngineCompiled} {
+			engine := engine
+			m, err := run(bt, func(n int) (int64, error) {
+				var tasks int64
+				for i := 0; i < n; i++ {
+					mach := dgr.New(dgr.Options{
+						PEs:      4,
+						Seed:     int64(i),
+						Engine:   engine,
+						Capacity: 1 << 16,
+					})
+					v, err := mach.Eval(cp.Src)
+					if err != nil {
+						return 0, fmt.Errorf("reduce_compiled/%s/engine=%s: %w", name, engine, err)
+					}
+					if v.Int != cp.Want {
+						return 0, fmt.Errorf("reduce_compiled/%s/engine=%s = %v, want %d", name, engine, v, cp.Want)
+					}
+					tasks += mach.Stats().TasksExecuted
+					mach.Close()
+				}
+				return tasks, nil
+			})
+			if err != nil {
+				return rep, err
+			}
+			res := toResult(fmt.Sprintf("reduce_compiled/%s/engine=%s", name, engine), 4, false, m)
+			res.TasksPerOp = float64(m.tasks) / float64(m.n)
+			rep.Results = append(rep.Results, res)
+		}
+	}
+
 	// Serving-layer throughput: 4 tenants × 2 streams driving the
 	// in-process pool. The cold case evaluates every program once; the
 	// warm case runs two rounds so the second is answered from the memo

@@ -65,6 +65,10 @@ func (b *Builder) Comb(c Comb) *Vertex { return b.alloc(KindComb, int64(c)) }
 // Prim builds a primitive-operator leaf.
 func (b *Builder) Prim(p Prim) *Vertex { return b.alloc(KindPrim, int64(p)) }
 
+// Super builds a compiled-supercombinator leaf whose Val indexes the
+// machine's gm.Program table.
+func (b *Builder) Super(idx int) *Vertex { return b.alloc(KindSuper, int64(idx)) }
+
 // Hole builds a placeholder vertex (letrec knots).
 func (b *Builder) Hole() *Vertex { return b.alloc(KindHole, 0) }
 
@@ -84,6 +88,17 @@ func (b *Builder) AppN(fun *Vertex, args ...*Vertex) *Vertex {
 	for _, a := range args {
 		v = b.App(v, a)
 	}
+	return v
+}
+
+// PrimApp builds a saturated (flattened) primitive application.
+func (b *Builder) PrimApp(p Prim, args ...*Vertex) *Vertex {
+	v := b.alloc(KindPrimApp, int64(p))
+	v.Lock()
+	for _, a := range args {
+		v.AddArg(a.ID, ReqNone)
+	}
+	v.Unlock()
 	return v
 }
 

@@ -42,6 +42,7 @@ const (
 	KindNil                     // empty list
 	KindInd                     // indirection: args[0] is the real value
 	KindHole                    // placeholder vertex (letrec knots, roots under construction)
+	KindSuper                   // compiled supercombinator leaf; Val indexes the gm.Program table
 )
 
 var kindNames = [...]string{
@@ -57,6 +58,7 @@ var kindNames = [...]string{
 	KindNil:     "nil",
 	KindInd:     "ind",
 	KindHole:    "hole",
+	KindSuper:   "super",
 }
 
 // String returns the lower-case name of the kind.
@@ -275,7 +277,8 @@ type RedState struct {
 // caller must hold the vertex lock.
 func (v *Vertex) IsValueLocked() bool {
 	switch v.Kind {
-	case KindInt, KindBool, KindStr, KindNil, KindCons, KindComb, KindPrim:
+	case KindInt, KindBool, KindStr, KindNil, KindCons, KindComb, KindPrim,
+		KindSuper:
 		return true
 	case KindApply, KindPrimApp, KindInd:
 		return v.Red.WHNF

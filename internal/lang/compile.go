@@ -60,6 +60,20 @@ var builtins = map[string]term{
 	"fix":      tComb{c: graph.CombY},
 }
 
+// Builtin resolves a builtin surface name to its graph leaf label
+// (KindPrim or KindComb). It is the compiled backend's view of the
+// builtins table.
+func Builtin(name string) (graph.Kind, int64, bool) {
+	switch t := builtins[name].(type) {
+	case tPrim:
+		return graph.KindPrim, int64(t.p), true
+	case tComb:
+		return graph.KindComb, int64(t.c), true
+	default:
+		return 0, 0, false
+	}
+}
+
 // Compiler translates expressions to combinator graphs.
 type Compiler struct {
 	store *graph.Store

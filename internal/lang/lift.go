@@ -1,0 +1,377 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SC is one lifted supercombinator: a closed function of Arity parameters
+// whose body contains no lambdas (every nested lambda has itself been
+// lifted and replaced by a partial application of its supercombinator to
+// its free variables).
+type SC struct {
+	Name   string
+	Params []string
+	Body   Expr
+}
+
+// Arity returns the number of parameters the supercombinator consumes.
+func (s SC) Arity() int { return len(s.Params) }
+
+// SCProg is a lambda-lifted program: a table of supercombinators plus the
+// lambda-free main expression. Supercombinator references appear in bodies
+// and in Main as Var nodes whose name is the SC's Name; Index resolves
+// them.
+type SCProg struct {
+	Supers []SC
+	Main   Expr
+	Index  map[string]int
+}
+
+// lifter carries the state of one lifting pass.
+type lifter struct {
+	supers []SC
+	index  map[string]int
+	n      int
+}
+
+// liftEnv classifies the names in scope during lifting.
+type liftBinding int
+
+const (
+	bindParam liftBinding = iota // lambda parameter (a per-call value)
+	bindLocal                    // non-lambda let binding (a shared graph knot)
+	bindSuper                    // a lifted supercombinator reference
+)
+
+type liftEntry struct {
+	class liftBinding
+	// repl is the replacement expression for bindSuper entries: the
+	// supercombinator applied to its captured free variables.
+	repl Expr
+}
+
+// Lift lambda-lifts e into a supercombinator program (Johnsson-style: the
+// free variables of each lambda become extra leading parameters, passed at
+// every occurrence site). Let-bound lambdas become named supercombinators —
+// mutual recursion resolves through the table, with the captured-variable
+// sets closed transitively across the recursive group. Non-lambda let
+// bindings are left in place (they compile to shared graph knots).
+func Lift(e Expr) (*SCProg, error) {
+	l := &lifter{index: make(map[string]int)}
+	main, err := l.lift(e, map[string]liftEntry{})
+	if err != nil {
+		return nil, err
+	}
+	return &SCProg{Supers: l.supers, Main: main, Index: l.index}, nil
+}
+
+// fresh reserves the next supercombinator slot under a unique name.
+func (l *lifter) fresh(hint string) (int, string) {
+	idx := len(l.supers)
+	name := fmt.Sprintf("$%d-%s", l.n, hint)
+	l.n++
+	l.supers = append(l.supers, SC{Name: name})
+	l.index[name] = idx
+	return idx, name
+}
+
+// capturedSet collects, into out, the names from free that are bound to
+// parameters or locals in env. A free reference to an already-lifted
+// supercombinator expands at the occurrence site to the SC applied to its
+// own captured variables, so those variables are captured here too.
+func capturedSet(free map[string]bool, env map[string]liftEntry, out map[string]bool) {
+	for name := range free {
+		ent, ok := env[name]
+		if !ok {
+			continue
+		}
+		switch ent.class {
+		case bindParam, bindLocal:
+			out[name] = true
+		case bindSuper:
+			replFree := map[string]bool{}
+			freeVars(ent.repl, map[string]bool{}, replFree)
+			for fv := range replFree {
+				if e2, ok := env[fv]; ok && (e2.class == bindParam || e2.class == bindLocal) {
+					out[fv] = true
+				}
+			}
+		}
+	}
+}
+
+// captured returns the free variables of e that a lifted lambda must
+// receive as extra arguments, sorted for determinism.
+func captured(e Expr, env map[string]liftEntry, exclude map[string]bool) []string {
+	free := map[string]bool{}
+	freeVars(e, copyBound(exclude), free)
+	set := map[string]bool{}
+	capturedSet(free, env, set)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// flatten merges directly nested lambdas (\x. \y. e → \x y. e) so a
+// curried definition lifts to one supercombinator of full arity. Merging
+// stops at a shadowed parameter, where currying must stay observable.
+func flatten(lam Lam) Lam {
+	params := append([]string(nil), lam.Params...)
+	body := lam.Body
+	for {
+		inner, ok := body.(Lam)
+		if !ok {
+			break
+		}
+		shadow := false
+		seen := make(map[string]bool, len(params))
+		for _, p := range params {
+			seen[p] = true
+		}
+		for _, p := range inner.Params {
+			if seen[p] {
+				shadow = true
+				break
+			}
+			seen[p] = true
+		}
+		if shadow {
+			break
+		}
+		params = append(params, inner.Params...)
+		body = inner.Body
+	}
+	return Lam{Params: params, Body: body}
+}
+
+// lift rewrites e, lifting every lambda out into l.supers.
+func (l *lifter) lift(e Expr, env map[string]liftEntry) (Expr, error) {
+	switch x := e.(type) {
+	case Var:
+		if ent, ok := env[x.Name]; ok && ent.class == bindSuper {
+			return ent.repl, nil
+		}
+		return x, nil
+	case IntLit, BoolLit, NilLit:
+		return x, nil
+	case App:
+		f, err := l.lift(x.Fun, env)
+		if err != nil {
+			return nil, err
+		}
+		a, err := l.lift(x.Arg, env)
+		if err != nil {
+			return nil, err
+		}
+		return App{Fun: f, Arg: a}, nil
+	case If:
+		c, err := l.lift(x.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		t, err := l.lift(x.Then, env)
+		if err != nil {
+			return nil, err
+		}
+		els, err := l.lift(x.Else, env)
+		if err != nil {
+			return nil, err
+		}
+		return If{Cond: c, Then: t, Else: els}, nil
+	case Lam:
+		return l.liftLam(flatten(x), env, "lam")
+	case Let:
+		return l.liftLet(x, env)
+	default:
+		return nil, fmt.Errorf("lift: unknown expression %T", e)
+	}
+}
+
+// liftLam lifts one anonymous lambda: its captured variables become extra
+// leading parameters and the occurrence site becomes the supercombinator
+// applied to those variables.
+func (l *lifter) liftLam(lam Lam, env map[string]liftEntry, hint string) (Expr, error) {
+	exclude := map[string]bool{}
+	for _, p := range lam.Params {
+		exclude[p] = true
+	}
+	extra := captured(lam.Body, env, exclude)
+
+	idx, name := l.fresh(hint)
+	inner := copyLiftEnv(env)
+	for _, p := range extra {
+		inner[p] = liftEntry{class: bindParam}
+	}
+	for _, p := range lam.Params {
+		inner[p] = liftEntry{class: bindParam}
+	}
+	body, err := l.lift(lam.Body, inner)
+	if err != nil {
+		return nil, err
+	}
+	l.supers[idx] = SC{
+		Name:   name,
+		Params: append(append([]string(nil), extra...), lam.Params...),
+		Body:   body,
+	}
+	repl := Expr(Var{Name: name})
+	for _, p := range extra {
+		repl = App{Fun: repl, Arg: Var{Name: p}}
+	}
+	return repl, nil
+}
+
+// liftLet lifts a let group: lambda-valued bindings become named
+// supercombinators (with captured-variable sets closed over the mutually
+// recursive group), non-lambda bindings survive as a residual Let.
+func (l *lifter) liftLet(x Let, env map[string]liftEntry) (Expr, error) {
+	// Partition the group.
+	isFun := make(map[string]bool, len(x.Binds))
+	lams := make(map[string]Lam, len(x.Binds))
+	groupNames := make(map[string]bool, len(x.Binds))
+	for _, b := range x.Binds {
+		groupNames[b.Name] = true
+		if lam, ok := b.Val.(Lam); ok {
+			isFun[b.Name] = true
+			lams[b.Name] = flatten(lam)
+		}
+	}
+
+	// Captured variables of each function binding: free variables bound to
+	// params/locals in the enclosing scope, or to non-lambda siblings of
+	// this group, closed transitively through sibling function references.
+	capt := make(map[string]map[string]bool)
+	refs := make(map[string][]string)
+	for name, lam := range lams {
+		exclude := copyBound(groupNames)
+		for _, p := range lam.Params {
+			exclude[p] = true
+		}
+		free := map[string]bool{}
+		freeVars(lam.Body, exclude, free)
+		set := map[string]bool{}
+		capturedSet(free, env, set)
+		// Non-lambda siblings the function captures are locals of the
+		// residual let: they too must be passed (their knot vertex is
+		// shared, so sharing is preserved).
+		innerFree := map[string]bool{}
+		exclude2 := map[string]bool{}
+		for _, p := range lam.Params {
+			exclude2[p] = true
+		}
+		freeVars(lam.Body, exclude2, innerFree)
+		for fv := range innerFree {
+			if groupNames[fv] {
+				if isFun[fv] {
+					refs[name] = append(refs[name], fv)
+				} else {
+					set[fv] = true
+				}
+			}
+		}
+		capt[name] = set
+	}
+	// Transitive closure: f captures whatever the siblings it references
+	// capture (those variables are passed through f's call sites).
+	for changed := true; changed; {
+		changed = false
+		for name := range lams {
+			for _, sib := range refs[name] {
+				for v := range capt[sib] {
+					if !capt[name][v] {
+						capt[name][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Reserve supercombinator slots (deterministic order: binding order),
+	// and build the environment in which bodies and the residual let lift.
+	inner := copyLiftEnv(env)
+	extras := make(map[string][]string)
+	scIdx := make(map[string]int)
+	for _, b := range x.Binds {
+		if !isFun[b.Name] {
+			continue
+		}
+		var ex []string
+		for v := range capt[b.Name] {
+			ex = append(ex, v)
+		}
+		sort.Strings(ex)
+		extras[b.Name] = ex
+		idx, scName := l.fresh(b.Name)
+		scIdx[b.Name] = idx
+		repl := Expr(Var{Name: scName})
+		for _, p := range ex {
+			repl = App{Fun: repl, Arg: Var{Name: p}}
+		}
+		inner[b.Name] = liftEntry{class: bindSuper, repl: repl}
+	}
+	for _, b := range x.Binds {
+		if !isFun[b.Name] {
+			inner[b.Name] = liftEntry{class: bindLocal}
+		}
+	}
+
+	// Lift the function bodies into their reserved slots.
+	for _, b := range x.Binds {
+		if !isFun[b.Name] {
+			continue
+		}
+		lam := lams[b.Name]
+		scEnv := copyLiftEnv(inner)
+		for _, p := range extras[b.Name] {
+			scEnv[p] = liftEntry{class: bindParam}
+		}
+		for _, p := range lam.Params {
+			scEnv[p] = liftEntry{class: bindParam}
+		}
+		body, err := l.lift(lam.Body, scEnv)
+		if err != nil {
+			return nil, err
+		}
+		idx := scIdx[b.Name]
+		l.supers[idx] = SC{
+			Name:   l.supers[idx].Name,
+			Params: append(append([]string(nil), extras[b.Name]...), lam.Params...),
+			Body:   body,
+		}
+	}
+
+	// Residual let of the non-lambda bindings (if any), around the lifted
+	// body.
+	var binds []Bind
+	for _, b := range x.Binds {
+		if isFun[b.Name] {
+			continue
+		}
+		val, err := l.lift(b.Val, inner)
+		if err != nil {
+			return nil, err
+		}
+		binds = append(binds, Bind{Name: b.Name, Val: val})
+	}
+	body, err := l.lift(x.Body, inner)
+	if err != nil {
+		return nil, err
+	}
+	if len(binds) == 0 {
+		return body, nil
+	}
+	return Let{Binds: binds, Body: body}, nil
+}
+
+func copyLiftEnv(env map[string]liftEntry) map[string]liftEntry {
+	c := make(map[string]liftEntry, len(env))
+	for k, v := range env {
+		c[k] = v
+	}
+	return c
+}

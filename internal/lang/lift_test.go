@@ -1,0 +1,46 @@
+package lang
+
+import "testing"
+
+// Lift builds a fresh supercombinator program; the input AST must come
+// through untouched. The serving layer depends on this: a machine keys its
+// memo cache on the canonical digest of the parsed program, then hands the
+// same AST to the compiled back end — a mutating Lift would silently
+// poison every digest computed after the first compiled run.
+func TestLiftDoesNotMutateInput(t *testing.T) {
+	srcs := []string{
+		"let fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 10",
+		"let f = \\x. \\y. x + y in f 1 2",
+		"let compose f g x = f (g x); inc n = n + 1 in compose inc inc 40",
+		"let a = b + 1; b = a + 1 in a",
+		"let upto a b = if a > b then [] else a : upto (a + 1) b in upto 1 5",
+		"(\\x. x x) (\\x. 1)",
+	}
+	for _, src := range srcs {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		before := Digest(e)
+		if _, err := Lift(e); err != nil {
+			t.Fatalf("lift %q: %v", src, err)
+		}
+		if after := Digest(e); after != before {
+			t.Errorf("Lift mutated its input for %q: digest %s -> %s", src, before, after)
+		}
+	}
+
+	// Generated programs sweep a wider range of shapes through the same
+	// invariant.
+	g := NewGen(4242, GenConfig{})
+	for i := 0; i < 25; i++ {
+		e, src, _ := g.Program()
+		before := Digest(e)
+		if _, err := Lift(e); err != nil {
+			t.Fatalf("lift generated %q: %v", src, err)
+		}
+		if after := Digest(e); after != before {
+			t.Errorf("Lift mutated generated program %q: digest %s -> %s", src, before, after)
+		}
+	}
+}

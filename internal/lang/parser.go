@@ -20,9 +20,16 @@ func Parse(src string) (Expr, error) {
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks  []token
+	i     int
+	depth int
 }
+
+// maxParseDepth bounds expression nesting. Every nesting construct
+// (parens, list brackets, lambda/let/if bodies, operator operands) routes
+// through expr, so the guard caps parser recursion: pathological inputs
+// like a megabyte of "(" fail cleanly instead of exhausting the stack.
+const maxParseDepth = 4096
 
 func (p *parser) peek() token { return p.toks[p.i] }
 
@@ -58,6 +65,11 @@ func (p *parser) expectKeyword(kw string) error {
 
 // expr := lambda | let | if | binary
 func (p *parser) expr() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, p.errf("expression nested deeper than %d", maxParseDepth)
+	}
 	t := p.peek()
 	switch {
 	case t.kind == tokOp && t.text == "\\":
@@ -178,8 +190,15 @@ var binOps = map[string]binOp{
 	"%":  {prec: 6, builtin: "__mod"},
 }
 
-// binary parses infix expressions by precedence climbing.
+// binary parses infix expressions by precedence climbing. It carries its
+// own depth guard: right-associative chains (`1:2:3:...`) recurse here
+// without passing through expr.
 func (p *parser) binary(minPrec int) (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, p.errf("expression nested deeper than %d", maxParseDepth)
+	}
 	lhs, err := p.application()
 	if err != nil {
 		return nil, err

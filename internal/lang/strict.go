@@ -1,0 +1,170 @@
+package lang
+
+import (
+	"dgr/internal/graph"
+)
+
+// Strictness analysis over a lifted program: which parameters does each
+// supercombinator certainly force on every path to WHNF of its body?
+// The engine uses the result to demand strict operands before executing a
+// compiled body, which in turn lets body execution constant-fold
+// arithmetic, comparisons, and branch selection over the (now known)
+// operand values.
+//
+// The analysis is the standard Mycroft iteration adapted to the lifted
+// form: start from the bottom assumption (every supercombinator strict in
+// every parameter — the ⊥ function is strict), recompute each body's
+// needed-set under the current assumptions, and repeat until the masks
+// stop changing. The chain is decreasing, so it terminates; the fixpoint
+// conflates all bottoms (a deadlocked and a diverging operand are both ⊥),
+// which is exactly the equivalence the machine's semantics grants.
+
+// primStrict maps a primitive to its per-argument strictness. Primitives
+// absent from the table contribute nothing (conservative). isbottom is
+// deliberately absent: its deadlock probe must be registered by the
+// primapp itself before its operand is demanded, so hoisting the demand
+// to a caller would change which vertex the verdict lands on.
+var primStrict = map[graph.Prim][]bool{
+	graph.PrimAdd:    {true, true},
+	graph.PrimSub:    {true, true},
+	graph.PrimMul:    {true, true},
+	graph.PrimDiv:    {true, true},
+	graph.PrimMod:    {true, true},
+	graph.PrimEq:     {true, true},
+	graph.PrimNe:     {true, true},
+	graph.PrimLt:     {true, true},
+	graph.PrimLe:     {true, true},
+	graph.PrimGt:     {true, true},
+	graph.PrimGe:     {true, true},
+	graph.PrimAnd:    {true, true},
+	graph.PrimOr:     {true, true},
+	graph.PrimNot:    {true},
+	graph.PrimNeg:    {true},
+	graph.PrimHead:   {true},
+	graph.PrimTail:   {true},
+	graph.PrimIsNil:  {true},
+	graph.PrimIsPair: {true},
+	graph.PrimSeq:    {true, true},
+	graph.PrimPar:    {true, true},
+	graph.PrimIf:     {true, false, false},
+}
+
+// strictMasks computes the per-parameter strictness mask of every
+// supercombinator in the lifted program.
+func strictMasks(sc *SCProg) map[string][]bool {
+	assume := make(map[string][]bool, len(sc.Supers))
+	for _, s := range sc.Supers {
+		mask := make([]bool, s.Arity())
+		for i := range mask {
+			mask[i] = true
+		}
+		assume[s.Name] = mask
+	}
+	for round := 0; round < 20; round++ {
+		changed := false
+		for _, s := range sc.Supers {
+			params := make(map[string]int, s.Arity())
+			for i, p := range s.Params {
+				params[p] = i
+			}
+			need := neededParams(s.Body, params, map[string]bool{}, assume)
+			mask := assume[s.Name]
+			for i := range mask {
+				if mask[i] && !need[i] {
+					mask[i] = false
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return assume
+		}
+	}
+	// Safety valve: no fixpoint within the bound — claim nothing.
+	for name, mask := range assume {
+		for i := range mask {
+			mask[i] = false
+		}
+		assume[name] = mask
+	}
+	return assume
+}
+
+// neededParams returns the parameter indices that WHNF of e certainly
+// forces. params maps in-scope parameter names to indices; shadow holds
+// names rebound by residual lets (treated as opaque — forcing a shared
+// knot contributes nothing claimable about parameters).
+func neededParams(e Expr, params map[string]int, shadow map[string]bool, assume map[string][]bool) map[int]bool {
+	out := map[int]bool{}
+	switch x := e.(type) {
+	case Var:
+		if shadow[x.Name] {
+			return out
+		}
+		if i, ok := params[x.Name]; ok {
+			out[i] = true
+		}
+		return out
+	case IntLit, BoolLit, NilLit, Lam:
+		return out
+	case If:
+		out = neededParams(x.Cond, params, shadow, assume)
+		t := neededParams(x.Then, params, shadow, assume)
+		el := neededParams(x.Else, params, shadow, assume)
+		for i := range t {
+			if el[i] {
+				out[i] = true
+			}
+		}
+		return out
+	case Let:
+		inner := copyBound(shadow)
+		for _, b := range x.Binds {
+			inner[b.Name] = true
+		}
+		return neededParams(x.Body, params, inner, assume)
+	case App:
+		head, args := spine(x)
+		var strict []bool
+		switch h := head.(type) {
+		case Var:
+			if shadow[h.Name] {
+				return out
+			}
+			if i, ok := params[h.Name]; ok {
+				// Calling an unknown function forces the function itself,
+				// nothing claimable about its arguments.
+				out[i] = true
+				return out
+			}
+			if mask, ok := assume[h.Name]; ok {
+				if len(args) < len(mask) {
+					return out // partial application: already WHNF
+				}
+				strict = mask
+			} else if k, val, ok := Builtin(h.Name); ok && k == graph.KindPrim {
+				mask := primStrict[graph.Prim(val)]
+				if len(args) < len(mask) {
+					return out
+				}
+				strict = mask
+			} else {
+				return out
+			}
+		default:
+			// An If/Let in head position: the head is forced.
+			out = neededParams(head, params, shadow, assume)
+		}
+		for i, s := range strict {
+			if !s || i >= len(args) {
+				continue
+			}
+			for p := range neededParams(args[i], params, shadow, assume) {
+				out[p] = true
+			}
+		}
+		return out
+	default:
+		return out
+	}
+}

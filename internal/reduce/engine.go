@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"dgr/internal/core"
+	"dgr/internal/gm"
 	"dgr/internal/graph"
 	"dgr/internal/metrics"
 	"dgr/internal/sched"
@@ -32,6 +33,10 @@ type Config struct {
 	// predicate is being computed (§3.2's source of eager — and, after the
 	// predicate resolves, irrelevant — tasks).
 	SpeculativeIf bool
+	// Prog resolves KindSuper leaves to compiled supercombinator bodies
+	// (the machine's gm.Program table). Required only when the graph
+	// contains compiled supercombinators.
+	Prog *gm.Program
 	// Counters receives statistics; optional.
 	Counters *metrics.Counters
 }
@@ -349,6 +354,38 @@ func (e *Engine) demandFrom(parent *graph.Vertex, childID graph.VertexID, kind g
 	e.spawn(task.Task{Kind: task.Demand, Src: parent.ID, Dst: childID, Req: kind})
 }
 
+// demandOperand demands a strict operand of a compiled-super redex on
+// behalf of v. The operand's arg edge may live on an inner spine vertex
+// (owner) rather than on v itself; the request kind goes on the owning
+// edge — the path the marker propagates priorities along — while the
+// demand task names v as the requester, so completion re-steps the
+// saturated apply. Inner spines can be shared between several saturated
+// applications, so duplicate-demand suppression keys on the child's
+// requester list (per requester), not on the owning edge.
+func (e *Engine) demandOperand(v *graph.Vertex, ownerID, childID graph.VertexID, kind graph.ReqKind) {
+	if ownerID == v.ID {
+		e.demandFrom(v, childID, kind)
+		return
+	}
+	owner := e.store.Vertex(ownerID)
+	child := e.store.Vertex(childID)
+	if owner == nil || child == nil {
+		return
+	}
+	child.Lock()
+	for _, r := range child.Requested {
+		if r.Src == v.ID && r.Kind >= kind {
+			child.Unlock()
+			return // v already awaits this operand at sufficient urgency
+		}
+	}
+	child.Unlock()
+	// The edge may have vanished under a concurrent rewrite of the spine;
+	// the demand is still sound (v re-collects the spine when re-stepped).
+	e.mut.SetRequestKind(owner, child, kind)
+	e.spawn(task.Task{Kind: task.Demand, Src: v.ID, Dst: childID, Req: kind})
+}
+
 // ---- WHNF machinery ----
 
 // whnfLocked reports whether v is in weak head normal form. Caller holds
@@ -356,7 +393,7 @@ func (e *Engine) demandFrom(parent *graph.Vertex, childID graph.VertexID, kind g
 func (e *Engine) whnfLocked(v *graph.Vertex) bool {
 	switch v.Kind {
 	case graph.KindInt, graph.KindBool, graph.KindStr, graph.KindNil,
-		graph.KindCons, graph.KindComb:
+		graph.KindCons, graph.KindComb, graph.KindSuper:
 		return true
 	case graph.KindPrim:
 		return graph.Prim(v.Val) != graph.PrimBottom
@@ -472,6 +509,12 @@ func (e *Engine) stepInd(v *graph.Vertex) {
 type spine struct {
 	head *graph.Vertex
 	ops  []graph.VertexID
+	// owners[i] is the apply vertex whose operand edge holds ops[i]. A
+	// strict-operand demand must record its request kind on that edge —
+	// the marker propagates priorities along arg edges, so annotating the
+	// saturated apply (which has no edge to an inner operand) would hide
+	// the operand from deadlock detection.
+	owners []graph.VertexID
 }
 
 // maxSpineLen bounds a partial-application spine walk. A legal spine is
@@ -504,6 +547,7 @@ func (e *Engine) collectSpine(f *graph.Vertex) (sp spine, ok, cyclic bool) {
 		fun, arg := cur.Args[0], cur.Args[1]
 		cur.Unlock()
 		sp.ops = append(sp.ops, arg)
+		sp.owners = append(sp.owners, cur.ID)
 		next := e.resolveInd(fun)
 		if next == nil {
 			return sp, false, false
@@ -513,6 +557,7 @@ func (e *Engine) collectSpine(f *graph.Vertex) (sp spine, ok, cyclic bool) {
 	// Operands were collected outermost-first; reverse to application order.
 	for i, j := 0, len(sp.ops)-1; i < j; i, j = i+1, j-1 {
 		sp.ops[i], sp.ops[j] = sp.ops[j], sp.ops[i]
+		sp.owners[i], sp.owners[j] = sp.owners[j], sp.owners[i]
 	}
 	sp.head = cur
 	return sp, true, false
@@ -562,9 +607,7 @@ func (e *Engine) stepApply(v *graph.Vertex) {
 			return
 		}
 		e.applySaturation(v, sp, argID)
-	case graph.KindComb:
-		e.applySaturation(v, spine{head: f}, argID)
-	case graph.KindPrim:
+	case graph.KindComb, graph.KindPrim, graph.KindSuper:
 		e.applySaturation(v, spine{head: f}, argID)
 	case graph.KindCons, graph.KindNil, graph.KindInt, graph.KindBool, graph.KindStr:
 		e.fail(v, "cannot apply non-function %s", fk)
@@ -577,6 +620,7 @@ func (e *Engine) stepApply(v *graph.Vertex) {
 // WHNF function sp) saturates a redex, and contracts it if so.
 func (e *Engine) applySaturation(v *graph.Vertex, sp spine, argID graph.VertexID) {
 	ops := append(append([]graph.VertexID(nil), sp.ops...), argID)
+	owners := append(append([]graph.VertexID(nil), sp.owners...), v.ID)
 	head := sp.head
 	head.Lock()
 	hk, hv := head.Kind, head.Val
@@ -613,6 +657,61 @@ func (e *Engine) applySaturation(v *graph.Vertex, sp spine, argID graph.VertexID
 		e.flattenPrim(v, p, ops)
 		if e.cfg.Counters != nil {
 			e.cfg.Counters.Rewrites.Add(1)
+		}
+		e.spawnReduce(v.ID)
+	case graph.KindSuper:
+		if e.cfg.Prog == nil {
+			e.fail(v, "supercombinator $%d without a compiled program", hv)
+			return
+		}
+		sup := e.cfg.Prog.Super(int(hv))
+		if sup == nil {
+			e.fail(v, "unknown supercombinator $%d", hv)
+			return
+		}
+		if len(ops) < sup.Arity {
+			e.markPartial(v)
+			return
+		}
+		// Force strict operands first (the analysis guarantees the body
+		// forces them anyway), so body execution sees known values and can
+		// fold arithmetic and branch selection instead of building the
+		// corresponding subgraphs. A cyclic operand proceeds unforced: the
+		// built body exposes the knot to deadlock detection as usual.
+		waiting := false
+		var kind graph.ReqKind
+		for i, strict := range sup.Strict {
+			if !strict {
+				continue
+			}
+			final, whnf := e.resolveWHNF(ops[i])
+			if whnf || final == nil {
+				continue
+			}
+			if !waiting {
+				kind = e.demandKind(v)
+			}
+			e.demandOperand(v, owners[i], ops[i], kind)
+			waiting = true
+		}
+		if waiting {
+			return
+		}
+		done, value := e.execSuper(v, sup, ops)
+		if !done {
+			return
+		}
+		if e.cfg.Counters != nil {
+			e.cfg.Counters.Rewrites.Add(1)
+		}
+		if value {
+			// The body folded all the way to a literal root: v is already
+			// WHNF; complete it without another scheduler round trip.
+			v.Lock()
+			v.Red.WHNF = true
+			v.Unlock()
+			e.complete(v)
+			return
 		}
 		e.spawnReduce(v.ID)
 	default:

@@ -1,0 +1,434 @@
+package reduce
+
+import (
+	"dgr/internal/gm"
+	"dgr/internal/graph"
+)
+
+// Compiled supercombinator execution. One saturated redex runs its body's
+// whole instruction sequence as a stack machine, allocating the fresh
+// subgraph up front and splicing every edge — including the root update —
+// inside a single cooperating Rewrite, so the marking invariants see one
+// atomic contraction exactly as they do for an interpreted combinator
+// step.
+//
+// Execution folds over known values: strict operands arrive in WHNF
+// (applySaturation forces them first), literals are known by construction,
+// and any primitive whose operands are all known computes immediately —
+// pushing a value instead of building a primapp vertex. Branch selection
+// folds the same way, and a literal never materializes a vertex at all
+// unless an unfoldable consumer needs a real vertex ID. Folding uses
+// exactly the semantics of stepPrimApp (division by zero, for instance,
+// is not folded — the built primapp reproduces the runtime error path).
+
+// slot is one stack entry: a vertex ID, a known literal value, or both.
+// id == NilVertex means the literal has not been materialized.
+type slot struct {
+	id    graph.VertexID
+	known bool
+	kind  graph.Kind // valid when known: KindInt, KindBool, or KindNil
+	val   int64
+}
+
+// wire is one planned labeling: vertex w becomes (kind, val, args).
+type wire struct {
+	w    *graph.Vertex
+	kind graph.Kind
+	val  int64
+	args []graph.VertexID
+}
+
+// superExec is the per-invocation machine state.
+type superExec struct {
+	e      *Engine
+	v      *graph.Vertex
+	sup    *gm.Super
+	ops    []graph.VertexID
+	part   int
+	stack  []slot
+	locals []*graph.Vertex
+	fresh  []*graph.Vertex
+	wires  []wire
+	bad    bool
+}
+
+// execSuper executes one compiled supercombinator body on the saturated
+// redex v with operands ops. done reports whether v was rewritten; value
+// additionally reports that the root became a WHNF literal (so the caller
+// can complete v without another scheduler round trip).
+func (e *Engine) execSuper(v *graph.Vertex, sup *gm.Super, ops []graph.VertexID) (done, value bool) {
+	x := &superExec{
+		e:     e,
+		v:     v,
+		sup:   sup,
+		ops:   ops,
+		part:  v.Part,
+		stack: make([]slot, 0, sup.MaxHigh),
+	}
+	if sup.NLocals > 0 {
+		x.locals = make([]*graph.Vertex, sup.NLocals)
+	}
+
+	// Operand value peek: a WHNF literal operand folds like a known
+	// constant. Values are final once written, and the redex spine keeps
+	// every operand reachable, so the read is stable for the whole
+	// execution.
+	opSlots := make([]slot, len(ops))
+	for i, id := range ops {
+		opSlots[i] = slot{id: id}
+		if w := e.resolveInd(id); w != nil {
+			w.Lock()
+			switch w.Kind {
+			case graph.KindInt, graph.KindBool, graph.KindNil:
+				opSlots[i] = slot{id: id, known: true, kind: w.Kind, val: w.Val}
+			}
+			w.Unlock()
+		}
+	}
+
+	var root wire
+	haveRoot := false
+	for _, in := range x.sup.Code {
+		if x.bad {
+			return false, false
+		}
+		switch in.Op {
+		case gm.OpPushArg:
+			if in.A < 0 || int(in.A) >= len(ops) {
+				e.fail(v, "compiled body bad operand %d in %s", in.A, sup.Name)
+				return false, false
+			}
+			x.push(opSlots[in.A])
+		case gm.OpPushLocal:
+			n := x.local(in.A)
+			if n == nil {
+				return false, false
+			}
+			x.push(slot{id: n.ID})
+		case gm.OpPushSuper:
+			x.pushFresh(graph.KindSuper, in.A)
+		case gm.OpPushComb:
+			x.pushFresh(graph.KindComb, in.A)
+		case gm.OpPushPrim:
+			x.pushFresh(graph.KindPrim, in.A)
+		case gm.OpPushInt:
+			x.push(slot{known: true, kind: graph.KindInt, val: in.A})
+		case gm.OpPushBool:
+			x.push(slot{known: true, kind: graph.KindBool, val: in.A})
+		case gm.OpPushNil:
+			x.push(slot{known: true, kind: graph.KindNil})
+		case gm.OpMkApp:
+			args := x.materializeN(2)
+			if args == nil {
+				return false, false
+			}
+			n := x.alloc(graph.KindApply, 0)
+			if n == nil {
+				return false, false
+			}
+			x.wires = append(x.wires, wire{w: n, kind: graph.KindApply, args: args})
+			x.push(slot{id: n.ID})
+		case gm.OpMkPrimApp:
+			s, built, ok := x.primApp(in)
+			if !ok {
+				return false, false
+			}
+			if built != nil {
+				n := x.alloc(graph.KindPrimApp, in.A)
+				if n == nil {
+					return false, false
+				}
+				x.wires = append(x.wires, wire{w: n, kind: graph.KindPrimApp, val: in.A, args: built})
+				s = slot{id: n.ID}
+			}
+			x.push(s)
+		case gm.OpMkHole:
+			n := x.alloc(graph.KindHole, 0)
+			if n == nil {
+				return false, false
+			}
+			if in.A < 0 || int(in.A) >= len(x.locals) {
+				e.fail(v, "compiled body bad local slot %d in %s", in.A, sup.Name)
+				return false, false
+			}
+			x.locals[in.A] = n
+		case gm.OpKnot:
+			t := x.pop()
+			h := x.local(in.A)
+			if x.bad || h == nil {
+				return false, false
+			}
+			if t.known && t.id == graph.NilVertex {
+				x.wires = append(x.wires, wire{w: h, kind: t.kind, val: t.val})
+			} else {
+				x.wires = append(x.wires, wire{w: h, kind: graph.KindInd, args: []graph.VertexID{t.id}})
+			}
+		case gm.OpUpdate:
+			t := x.pop()
+			if x.bad {
+				return false, false
+			}
+			root, haveRoot = x.rootFor(t), true
+		case gm.OpUpdateApp:
+			args := x.materializeN(2)
+			if args == nil {
+				return false, false
+			}
+			root, haveRoot = wire{w: v, kind: graph.KindApply, args: args}, true
+		case gm.OpUpdatePrimApp:
+			s, built, ok := x.primApp(in)
+			if !ok {
+				return false, false
+			}
+			if built != nil {
+				root = wire{w: v, kind: graph.KindPrimApp, val: in.A, args: built}
+			} else {
+				root = x.rootFor(s)
+			}
+			haveRoot = true
+		case gm.OpUpdateLeaf:
+			root, haveRoot = wire{w: v, kind: graph.Kind(in.A), val: in.B}, true
+		default:
+			e.fail(v, "compiled body unknown opcode %v in %s", in.Op, sup.Name)
+			return false, false
+		}
+	}
+	if x.bad || !haveRoot {
+		if !haveRoot {
+			e.fail(v, "compiled body of %s has no terminal update", sup.Name)
+		}
+		return false, false
+	}
+
+	x.wires = append(x.wires, root)
+	e.mut.Rewrite(v, x.fresh, e.vs(ops...), func() {
+		for _, w := range x.wires {
+			w.w.Kind = w.kind
+			w.w.Val = w.val
+			w.w.Args = append(w.w.Args[:0], w.args...)
+			w.w.ReqKinds = w.w.ReqKinds[:0]
+			for range w.args {
+				w.w.ReqKinds = append(w.w.ReqKinds, graph.ReqNone)
+			}
+		}
+	})
+	switch root.kind {
+	case graph.KindInt, graph.KindBool, graph.KindNil:
+		return true, true
+	}
+	return true, false
+}
+
+// rootFor plans the terminal update from a result slot: a known literal
+// writes the root as a leaf directly; anything else collapses the root to
+// an indirection.
+func (x *superExec) rootFor(t slot) wire {
+	if t.known {
+		return wire{w: x.v, kind: t.kind, val: t.val}
+	}
+	return wire{w: x.v, kind: graph.KindInd, args: []graph.VertexID{t.id}}
+}
+
+// primApp pops an OpMkPrimApp/OpUpdatePrimApp's operands: if every
+// needed operand is known the primitive folds to a value slot
+// (built == nil); otherwise the operands are materialized and returned
+// for the caller to wire into a primapp vertex (fresh or the root).
+func (x *superExec) primApp(in gm.Instr) (s slot, built []graph.VertexID, ok bool) {
+	n := int(in.B)
+	if len(x.stack) < n {
+		x.e.fail(x.v, "compiled body stack underflow in %s", x.sup.Name)
+		return slot{}, nil, false
+	}
+	args := x.stack[len(x.stack)-n:]
+	if s, folded := foldPrim(graph.Prim(in.A), args); folded {
+		x.stack = x.stack[:len(x.stack)-n]
+		return s, nil, true
+	}
+	ids := x.materializeN(n)
+	if ids == nil {
+		return slot{}, nil, false
+	}
+	return slot{}, ids, true
+}
+
+// foldPrim computes a primitive over known operand slots, mirroring
+// stepPrimApp exactly. ok is false when the operands are not all known,
+// the primitive is not foldable, or folding would bypass a runtime error
+// path (division by zero, operand type errors).
+func foldPrim(p graph.Prim, args []slot) (slot, bool) {
+	known := func(i int, k graph.Kind) (int64, bool) {
+		if !args[i].known || args[i].kind != k {
+			return 0, false
+		}
+		return args[i].val, true
+	}
+	intS := func(v int64) slot { return slot{known: true, kind: graph.KindInt, val: v} }
+	boolS := func(b bool) slot {
+		var v int64
+		if b {
+			v = 1
+		}
+		return slot{known: true, kind: graph.KindBool, val: v}
+	}
+	switch p {
+	case graph.PrimAdd, graph.PrimSub, graph.PrimMul, graph.PrimDiv,
+		graph.PrimMod, graph.PrimEq, graph.PrimNe, graph.PrimLt,
+		graph.PrimLe, graph.PrimGt, graph.PrimGe:
+		xv, okx := known(0, graph.KindInt)
+		yv, oky := known(1, graph.KindInt)
+		if !okx || !oky {
+			return slot{}, false
+		}
+		switch p {
+		case graph.PrimAdd:
+			return intS(xv + yv), true
+		case graph.PrimSub:
+			return intS(xv - yv), true
+		case graph.PrimMul:
+			return intS(xv * yv), true
+		case graph.PrimDiv:
+			if yv == 0 {
+				return slot{}, false
+			}
+			return intS(xv / yv), true
+		case graph.PrimMod:
+			if yv == 0 {
+				return slot{}, false
+			}
+			return intS(xv % yv), true
+		case graph.PrimEq:
+			return boolS(xv == yv), true
+		case graph.PrimNe:
+			return boolS(xv != yv), true
+		case graph.PrimLt:
+			return boolS(xv < yv), true
+		case graph.PrimLe:
+			return boolS(xv <= yv), true
+		default:
+			if p == graph.PrimGt {
+				return boolS(xv > yv), true
+			}
+			return boolS(xv >= yv), true
+		}
+	case graph.PrimNeg:
+		xv, ok := known(0, graph.KindInt)
+		if !ok {
+			return slot{}, false
+		}
+		return intS(-xv), true
+	case graph.PrimNot:
+		xv, ok := known(0, graph.KindBool)
+		if !ok {
+			return slot{}, false
+		}
+		return boolS(xv == 0), true
+	case graph.PrimAnd, graph.PrimOr:
+		xv, okx := known(0, graph.KindBool)
+		yv, oky := known(1, graph.KindBool)
+		if !okx || !oky {
+			return slot{}, false
+		}
+		if p == graph.PrimAnd {
+			return boolS(xv != 0 && yv != 0), true
+		}
+		return boolS(xv != 0 || yv != 0), true
+	case graph.PrimIsNil, graph.PrimIsPair:
+		if !args[0].known {
+			return slot{}, false
+		}
+		if p == graph.PrimIsNil {
+			return boolS(args[0].kind == graph.KindNil), true
+		}
+		return boolS(false), true // known kinds are never cons
+	case graph.PrimIf:
+		cv, ok := known(0, graph.KindBool)
+		if !ok {
+			return slot{}, false
+		}
+		if cv != 0 {
+			return args[1], true
+		}
+		return args[2], true
+	case graph.PrimSeq:
+		if !args[0].known {
+			return slot{}, false
+		}
+		return args[1], true
+	}
+	return slot{}, false
+}
+
+// ---- stack machine helpers ----
+
+func (x *superExec) push(s slot) { x.stack = append(x.stack, s) }
+
+func (x *superExec) pop() slot {
+	if len(x.stack) == 0 {
+		x.e.fail(x.v, "compiled body stack underflow in %s", x.sup.Name)
+		x.bad = true
+		return slot{}
+	}
+	s := x.stack[len(x.stack)-1]
+	x.stack = x.stack[:len(x.stack)-1]
+	return s
+}
+
+// alloc allocates one fresh vertex into the invocation's fresh set.
+func (x *superExec) alloc(kind graph.Kind, val int64) *graph.Vertex {
+	n, err := x.e.mut.Alloc(x.part, kind, val)
+	if err != nil {
+		x.e.fail(x.v, "out of free vertices: %v", err)
+		x.bad = true
+		return nil
+	}
+	x.fresh = append(x.fresh, n)
+	return n
+}
+
+func (x *superExec) pushFresh(kind graph.Kind, val int64) {
+	if n := x.alloc(kind, val); n != nil {
+		x.push(slot{id: n.ID})
+	}
+}
+
+// materialize gives a slot a real vertex, allocating the deferred literal
+// leaf if needed.
+func (x *superExec) materialize(s *slot) bool {
+	if s.id != graph.NilVertex {
+		return true
+	}
+	n := x.alloc(s.kind, s.val)
+	if n == nil {
+		return false
+	}
+	s.id = n.ID
+	return true
+}
+
+// materializeN pops n slots and returns their vertex IDs in stack order.
+func (x *superExec) materializeN(n int) []graph.VertexID {
+	if len(x.stack) < n {
+		x.e.fail(x.v, "compiled body stack underflow in %s", x.sup.Name)
+		x.bad = true
+		return nil
+	}
+	ids := make([]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		s := &x.stack[len(x.stack)-n+i]
+		if !x.materialize(s) {
+			return nil
+		}
+		ids[i] = s.id
+	}
+	x.stack = x.stack[:len(x.stack)-n]
+	return ids
+}
+
+func (x *superExec) local(i int64) *graph.Vertex {
+	if i < 0 || int(i) >= len(x.locals) || x.locals[i] == nil {
+		x.e.fail(x.v, "compiled body bad local slot %d in %s", i, x.sup.Name)
+		x.bad = true
+		return nil
+	}
+	return x.locals[i]
+}

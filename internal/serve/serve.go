@@ -80,6 +80,9 @@ type Options struct {
 	Timeout  time.Duration
 	Check    bool
 	Obs      bool
+	// Engine selects the reduction back end for every pooled machine
+	// (dgr.EngineInterp or dgr.EngineCompiled; default interpreted).
+	Engine string
 
 	// QueueDepth bounds the total queued (not yet running) jobs across all
 	// tenants (default 256); admission beyond it is CodeQueueFull.
@@ -296,6 +299,7 @@ func (s *Server) newMachine(id int) *dgr.Machine {
 		Timeout:  s.opts.Timeout,
 		Check:    s.opts.Check,
 		Obs:      s.opts.Obs,
+		Engine:   s.opts.Engine,
 	})
 }
 

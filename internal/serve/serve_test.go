@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"dgr"
 	"dgr/internal/task"
 	"dgr/internal/workload"
 )
@@ -91,6 +92,47 @@ func TestEvalAndMemoCache(t *testing.T) {
 	cs := s.CacheStats()
 	if cs.Hits < 1 || cs.Misses < 1 || cs.Entries < 1 {
 		t.Fatalf("cache stats = %+v, want >=1 hit, miss, entry", cs)
+	}
+}
+
+// A compiled-engine pool serves the same results as the interpreted one,
+// and a warm rerun (layout-changed, digest-identical source) still comes
+// from the memo cache rather than a fresh compile.
+func TestEvalCompiledEngineWarmRerun(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, Engine: dgr.EngineCompiled})
+
+	j, err := s.Submit(Request{Tenant: "alice", Program: fibSrc})
+	if err != nil {
+		t.Fatalf("cold submit: %v", err)
+	}
+	cold, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("cold wait: %v", err)
+	}
+	if cold.Status != StatusDone || cold.Result == nil {
+		t.Fatalf("cold job = %+v, want done with result", cold)
+	}
+	if cold.Result.Rendered != "144" {
+		t.Fatalf("compiled fib 12 = %q, want 144", cold.Result.Rendered)
+	}
+
+	warm, err := s.Submit(Request{
+		Tenant:  "bob",
+		Program: "let fib n =\n  if n < 2 then n -- compiled, memoized\n  else fib (n-1) + fib (n-2)\nin fib 12",
+	})
+	if err != nil {
+		t.Fatalf("warm submit: %v", err)
+	}
+	wv, err := warm.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("warm wait: %v", err)
+	}
+	if !wv.CacheHit {
+		t.Fatalf("warm job = %+v, want cache hit", wv)
+	}
+	if wv.Digest != cold.Digest || wv.Result.Rendered != cold.Result.Rendered {
+		t.Fatalf("warm = %q/%s, cold = %q/%s: want identical",
+			wv.Result.Rendered, wv.Digest, cold.Result.Rendered, cold.Digest)
 	}
 }
 

@@ -191,6 +191,8 @@ func defaultLabel(sv *graph.SnapVertex) string {
 		return "false"
 	case graph.KindComb:
 		return graph.Comb(sv.Val).String()
+	case graph.KindSuper:
+		return fmt.Sprintf("$%d", sv.Val)
 	case graph.KindPrim, graph.KindPrimApp:
 		return graph.Prim(sv.Val).String()
 	case graph.KindApply:
