@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,6 +45,7 @@ func run() error {
 		seed     = flag.Int64("seed", 7, "workload seed")
 		list     = flag.Bool("list", false, "list experiment IDs")
 		jsonR    = flag.Bool("json", false, "run the hot-path benchmark suite, emit JSON report")
+		cpus     = flag.String("cpu", "", "comma-separated GOMAXPROCS values to sweep the -json suite over (e.g. 1,2,4)")
 		watch    = flag.Bool("watch", false, "live terminal dashboard: loop a corpus program on a parallel machine")
 		wName    = flag.String("name", "fib", "corpus program for -watch")
 		wPEs     = flag.Int("pes", 4, "machine width for -watch")
@@ -57,11 +59,24 @@ func run() error {
 	}
 
 	if *jsonR {
-		rep, err := bench.Run(*quick)
+		var sweep []int
+		if *cpus != "" {
+			for _, s := range strings.Split(*cpus, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || v < 1 {
+					return fmt.Errorf("bad -cpu value %q", s)
+				}
+				sweep = append(sweep, v)
+			}
+		}
+		rep, err := bench.RunSweep(*quick, sweep)
 		if err != nil {
 			return err
 		}
 		return rep.WriteJSON(os.Stdout)
+	}
+	if *cpus != "" {
+		return fmt.Errorf("-cpu only applies to the -json suite")
 	}
 
 	if *list {

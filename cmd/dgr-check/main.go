@@ -81,6 +81,7 @@ type flags struct {
 	out        string
 	timeout    time.Duration
 	replay     string
+	steal      bool
 	verbose    bool
 }
 
@@ -107,6 +108,7 @@ func run() error {
 	flag.StringVar(&f.out, "out", ".", "directory for replay logs written on failure")
 	flag.DurationVar(&f.timeout, "timeout", 5*time.Second, "parallel evaluation timeout")
 	flag.StringVar(&f.replay, "replay", "", "replay a recorded schedule log instead of sweeping")
+	flag.BoolVar(&f.steal, "steal", true, "cross-PE work stealing (parallel config; -steal=false sweeps with stealing off)")
 	flag.BoolVar(&f.verbose, "v", false, "log every run")
 	flag.Parse()
 
@@ -191,6 +193,7 @@ func optionsFor(f flags, config string, seed int64, record bool) (dgr.Options, e
 
 		RecordSchedule: record,
 		FaultSkipMark:  f.inject,
+		DisableSteal:   !f.steal,
 	}
 	switch config {
 	case "det":

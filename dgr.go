@@ -112,6 +112,12 @@ type Options struct {
 	// Adversarial, in deterministic mode, pops uniformly random tasks
 	// instead of respecting priority bands (interleaving stress).
 	Adversarial bool
+	// DisableSteal turns cross-PE work stealing off. Stealing is on by
+	// default in parallel mode (an idle PE takes a batch from the tail of
+	// the most-loaded peer's pool) and never applies to deterministic mode.
+	DisableSteal bool
+	// StealBatch caps how many tasks one steal moves (default 32).
+	StealBatch int
 
 	// Fabric routes every cross-partition spawn through a simulated
 	// inter-PE network with batching, latency, loss, and at-least-once
@@ -323,6 +329,8 @@ func New(opts Options) *Machine {
 		Mode:        mode,
 		Seed:        opts.Seed,
 		Adversarial: opts.Adversarial,
+		Steal:       opts.Parallel && !opts.DisableSteal,
+		StealBatch:  opts.StealBatch,
 		PartOf:      store.PartitionOf,
 		Counters:    counters,
 		Fabric:      fab,
@@ -936,6 +944,11 @@ func (m *Machine) Deadlocked() []NodeID { return m.collector.Deadlocked() }
 // RuntimeErrors returns runtime (type) errors raised by the reduction
 // engine.
 func (m *Machine) RuntimeErrors() []error { return m.engine.Errors() }
+
+// ExecsPerPE reports how many tasks each PE has executed so far — the
+// execution-balance view work stealing is judged by (a heavily skewed
+// distribution with stealing on means the thieves never got traction).
+func (m *Machine) ExecsPerPE() []uint64 { return m.mach.ExecutionsByPE() }
 
 // FreeVertices reports |F|, the current size of the free list.
 func (m *Machine) FreeVertices() int { return m.store.FreeCount() }

@@ -29,6 +29,9 @@ type Result struct {
 	Name string `json:"name"`
 	// PEs is the machine width the case ran with.
 	PEs int `json:"pes"`
+	// Cpus is the GOMAXPROCS value the case ran under (the -cpu sweep runs
+	// the suite once per value; rows from different values share a report).
+	Cpus int `json:"cpus"`
 	// Parallel reports whether the machine ran in parallel (true) or
 	// deterministic (false) mode.
 	Parallel bool `json:"parallel"`
@@ -43,6 +46,20 @@ type Result struct {
 	// TasksPerOp is the mean number of tasks the scheduler executed per
 	// operation (0 where the case does not run the scheduler).
 	TasksPerOp float64 `json:"tasks_per_op,omitempty"`
+
+	// StealCount and IdlePolls are the scheduler's work-stealing counters
+	// summed over the measured loop: successful cross-PE steal batches and
+	// times a PE found neither local nor stealable work. Parallel-mode
+	// cases only.
+	StealCount int64 `json:"steal_count,omitempty"`
+	IdlePolls  int64 `json:"idle_polls,omitempty"`
+	// ExecsPerPE is the per-PE task-execution totals over the measured
+	// loop, and ExecBalance the min/max ratio of those totals (1.0 =
+	// perfectly balanced, 0 = at least one PE executed nothing). Parallel
+	// cases only: deterministic mode picks PEs from a seeded RNG, so
+	// balance there measures the RNG, not the scheduler.
+	ExecsPerPE  []int64 `json:"execs_per_pe,omitempty"`
+	ExecBalance float64 `json:"exec_balance,omitempty"`
 
 	// ReqPerSec, P50Ns, P95Ns and CacheHitRate are filled only by the
 	// serve_throughput cases: end-to-end request rate through the serving
@@ -74,9 +91,33 @@ type Report struct {
 
 const reportSchema = "dgr-bench/v1"
 
-// caseFn runs n iterations of a case and returns any auxiliary per-run
-// metric total (tasks executed) alongside an error.
-type caseFn func(n int) (tasks int64, err error)
+// caseAux accumulates auxiliary machine counters over a measured loop:
+// tasks executed, the work-stealing counters, and per-PE execution totals.
+type caseAux struct {
+	tasks  int64
+	steals int64
+	idle   int64
+	execs  []int64
+}
+
+// addMachine folds one finished machine's counters into the totals. Call
+// before Close.
+func (a *caseAux) addMachine(m *dgr.Machine) {
+	st := m.Stats()
+	a.tasks += st.TasksExecuted
+	a.steals += st.Steals
+	a.idle += st.IdlePolls
+	for pe, n := range m.ExecsPerPE() {
+		if pe >= len(a.execs) {
+			a.execs = append(a.execs, make([]int64, pe+1-len(a.execs))...)
+		}
+		a.execs[pe] += int64(n)
+	}
+}
+
+// caseFn runs n iterations of a case, folding auxiliary metric totals into
+// aux.
+type caseFn func(n int, aux *caseAux) error
 
 // measurement is one timed pass.
 type measurement struct {
@@ -84,7 +125,7 @@ type measurement struct {
 	elapsed time.Duration
 	allocs  uint64
 	bytes   uint64
-	tasks   int64
+	aux     caseAux
 }
 
 // measure times fn at exactly n iterations.
@@ -92,8 +133,9 @@ func measure(n int, fn caseFn) (measurement, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
+	var aux caseAux
 	start := time.Now()
-	tasks, err := fn(n)
+	err := fn(n, &aux)
 	elapsed := time.Since(start)
 	if err != nil {
 		return measurement{}, err
@@ -104,7 +146,7 @@ func measure(n int, fn caseFn) (measurement, error) {
 		elapsed: elapsed,
 		allocs:  after.Mallocs - before.Mallocs,
 		bytes:   after.TotalAlloc - before.TotalAlloc,
-		tasks:   tasks,
+		aux:     aux,
 	}, nil
 }
 
@@ -141,11 +183,21 @@ func benchtime(quick bool) time.Duration {
 	return time.Second
 }
 
-// Run executes the suite and returns the report. quick shrinks measuring
-// time so CI smoke jobs finish in seconds. An error aborts the suite —
-// benchmarks self-validate their program results, so an error means the
-// machine computed a wrong answer, not that it was slow.
+// Run executes the suite under the current GOMAXPROCS and returns the
+// report. quick shrinks measuring time so CI smoke jobs finish in seconds.
+// An error aborts the suite — benchmarks self-validate their program
+// results, so an error means the machine computed a wrong answer, not that
+// it was slow.
 func Run(quick bool) (Report, error) {
+	return RunSweep(quick, nil)
+}
+
+// RunSweep runs the suite once per GOMAXPROCS value in cpus (dgr-bench's
+// -cpu flag), concatenating the rows into one report; each row records the
+// value it ran under in its "cpus" field. A nil or empty sweep runs once
+// under the ambient GOMAXPROCS. The previous GOMAXPROCS is restored on
+// return.
+func RunSweep(quick bool, cpus []int) (Report, error) {
 	rep := Report{
 		Schema:    reportSchema,
 		GoVersion: runtime.Version(),
@@ -155,61 +207,104 @@ func Run(quick bool) (Report, error) {
 		Quick:     quick,
 		UnixTime:  time.Now().Unix(),
 	}
+	if len(cpus) == 0 {
+		cpus = []int{runtime.GOMAXPROCS(0)}
+	} else {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	}
+	for _, c := range cpus {
+		if c > 0 {
+			runtime.GOMAXPROCS(c)
+		}
+		results, err := runSuite(quick)
+		for i := range results {
+			results[i].Cpus = runtime.GOMAXPROCS(0)
+		}
+		rep.Results = append(rep.Results, results...)
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// runSuite executes one full pass of the suite under the current
+// GOMAXPROCS.
+func runSuite(quick bool) ([]Result, error) {
+	var results []Result
 	bt := benchtime(quick)
 
 	// End-to-end reduction, deterministic machine, 4 PEs.
 	for _, name := range []string{"fib", "fac", "sumsquares", "churn"} {
 		name := name
 		p := workload.Programs[name]
-		m, err := run(bt, func(n int) (int64, error) {
-			var tasks int64
+		m, err := run(bt, func(n int, aux *caseAux) error {
 			for i := 0; i < n; i++ {
 				mach := dgr.New(dgr.Options{PEs: 4, Seed: int64(i), Capacity: 1 << 16})
 				v, err := mach.Eval(p.Src)
 				if err != nil {
-					return 0, fmt.Errorf("%s: %w", name, err)
+					return fmt.Errorf("%s: %w", name, err)
 				}
 				if v.Int != p.Want {
-					return 0, fmt.Errorf("%s = %v, want %d", name, v, p.Want)
+					return fmt.Errorf("%s = %v, want %d", name, v, p.Want)
 				}
-				tasks += mach.Stats().TasksExecuted
+				aux.addMachine(mach)
 				mach.Close()
 			}
-			return tasks, nil
+			return nil
 		})
 		if err != nil {
-			return rep, err
+			return results, err
 		}
 		res := toResult("reduce/"+name, 4, false, m)
-		res.TasksPerOp = float64(m.tasks) / float64(m.n)
-		rep.Results = append(rep.Results, res)
+		res.TasksPerOp = float64(m.aux.tasks) / float64(m.n)
+		results = append(results, res)
 	}
 
-	// fib across PE counts, parallel mode. fib is deadlock-free and
-	// deterministic, so any failed iteration is a machine bug and aborts
-	// the suite — the epoch-confirmed deadlock verdict removed the spurious
-	// ErrDeadlock these runs used to retry around.
+	// fib across PE counts, parallel mode, both engines. fib is
+	// deadlock-free and deterministic, so any failed iteration is a machine
+	// bug and aborts the suite — the epoch-confirmed deadlock verdict
+	// removed the spurious ErrDeadlock these runs used to retry around.
+	// The rows carry the stealing counters and per-PE execution balance, so
+	// a sweep shows where the parallel speedup comes from (or where it is
+	// lost to idle polling on a core-starved host).
 	p := workload.Programs["fib"]
-	for _, pes := range []int{1, 2, 4, 8} {
-		pes := pes
-		m, err := run(bt, func(n int) (int64, error) {
-			for i := 0; i < n; i++ {
-				mach := dgr.New(dgr.Options{PEs: pes, Parallel: true, Capacity: 1 << 16})
-				v, err := mach.Eval(p.Src)
-				mach.Close()
-				if err != nil {
-					return 0, fmt.Errorf("fib/pes=%d: %w", pes, err)
-				}
-				if v.Int != p.Want {
-					return 0, fmt.Errorf("fib/pes=%d = %v, want %d", pes, v, p.Want)
-				}
-			}
-			return 0, nil
-		})
-		if err != nil {
-			return rep, err
+	for _, engine := range []string{dgr.EngineInterp, dgr.EngineCompiled} {
+		engine := engine
+		prefix := "reduce-pes"
+		if engine == dgr.EngineCompiled {
+			prefix = "reduce_compiled-pes"
 		}
-		rep.Results = append(rep.Results, toResult(fmt.Sprintf("reduce-pes/fib/pes=%d", pes), pes, true, m))
+		for _, pes := range []int{1, 2, 4, 8} {
+			pes := pes
+			m, err := run(bt, func(n int, aux *caseAux) error {
+				for i := 0; i < n; i++ {
+					mach := dgr.New(dgr.Options{
+						PEs: pes, Parallel: true, Engine: engine, Capacity: 1 << 16,
+					})
+					v, err := mach.Eval(p.Src)
+					aux.addMachine(mach)
+					mach.Close()
+					if err != nil {
+						return fmt.Errorf("%s/fib/pes=%d: %w", prefix, pes, err)
+					}
+					if v.Int != p.Want {
+						return fmt.Errorf("%s/fib/pes=%d = %v, want %d", prefix, pes, v, p.Want)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return results, err
+			}
+			res := toResult(fmt.Sprintf("%s/fib/pes=%d", prefix, pes), pes, true, m)
+			res.TasksPerOp = float64(m.aux.tasks) / float64(m.n)
+			res.StealCount = m.aux.steals
+			res.IdlePolls = m.aux.idle
+			res.ExecsPerPE = m.aux.execs
+			res.ExecBalance = execBalance(m.aux.execs)
+			results = append(results, res)
+		}
 	}
 
 	// Observability overhead: identical fib workloads with the obs layer
@@ -229,8 +324,7 @@ func Run(quick bool) (Report, error) {
 		{"obs-overhead/fib/parallel/obs=on", true, true},
 	} {
 		c := c
-		m, err := run(bt, func(n int) (int64, error) {
-			var tasks int64
+		m, err := run(bt, func(n int, aux *caseAux) error {
 			for i := 0; i < n; i++ {
 				mach := dgr.New(dgr.Options{
 					PEs:      4,
@@ -240,23 +334,23 @@ func Run(quick bool) (Report, error) {
 					Obs:      c.obs,
 				})
 				v, err := mach.Eval(p.Src)
+				aux.addMachine(mach)
 				mach.Close()
 				if err != nil {
-					return 0, fmt.Errorf("%s: %w", c.name, err)
+					return fmt.Errorf("%s: %w", c.name, err)
 				}
 				if v.Int != p.Want {
-					return 0, fmt.Errorf("%s = %v, want %d", c.name, v, p.Want)
+					return fmt.Errorf("%s = %v, want %d", c.name, v, p.Want)
 				}
-				tasks += mach.Stats().TasksExecuted
 			}
-			return tasks, nil
+			return nil
 		})
 		if err != nil {
-			return rep, err
+			return results, err
 		}
 		res := toResult(c.name, 4, c.parallel, m)
-		res.TasksPerOp = float64(m.tasks) / float64(m.n)
-		rep.Results = append(rep.Results, res)
+		res.TasksPerOp = float64(m.aux.tasks) / float64(m.n)
+		results = append(results, res)
 	}
 
 	// Compiled-vs-interpreted A/B: the same corpus programs on the same
@@ -270,8 +364,7 @@ func Run(quick bool) (Report, error) {
 		cp := workload.Programs[name]
 		for _, engine := range []string{dgr.EngineInterp, dgr.EngineCompiled} {
 			engine := engine
-			m, err := run(bt, func(n int) (int64, error) {
-				var tasks int64
+			m, err := run(bt, func(n int, aux *caseAux) error {
 				for i := 0; i < n; i++ {
 					mach := dgr.New(dgr.Options{
 						PEs:      4,
@@ -281,22 +374,22 @@ func Run(quick bool) (Report, error) {
 					})
 					v, err := mach.Eval(cp.Src)
 					if err != nil {
-						return 0, fmt.Errorf("reduce_compiled/%s/engine=%s: %w", name, engine, err)
+						return fmt.Errorf("reduce_compiled/%s/engine=%s: %w", name, engine, err)
 					}
 					if v.Int != cp.Want {
-						return 0, fmt.Errorf("reduce_compiled/%s/engine=%s = %v, want %d", name, engine, v, cp.Want)
+						return fmt.Errorf("reduce_compiled/%s/engine=%s = %v, want %d", name, engine, v, cp.Want)
 					}
-					tasks += mach.Stats().TasksExecuted
+					aux.addMachine(mach)
 					mach.Close()
 				}
-				return tasks, nil
+				return nil
 			})
 			if err != nil {
-				return rep, err
+				return results, err
 			}
 			res := toResult(fmt.Sprintf("reduce_compiled/%s/engine=%s", name, engine), 4, false, m)
-			res.TasksPerOp = float64(m.tasks) / float64(m.n)
-			rep.Results = append(rep.Results, res)
+			res.TasksPerOp = float64(m.aux.tasks) / float64(m.n)
+			results = append(results, res)
 		}
 	}
 
@@ -313,31 +406,53 @@ func Run(quick bool) (Report, error) {
 	} {
 		res, err := serveCase(c.name, c.rounds, quick)
 		if err != nil {
-			return rep, err
+			return results, err
 		}
-		rep.Results = append(rep.Results, res)
+		results = append(results, res)
 	}
 
 	// One GC cycle over a live heap.
 	mach := dgr.New(dgr.Options{PEs: 4, Seed: 1, Capacity: 1 << 16})
 	defer mach.Close()
 	if _, err := mach.Eval(workload.Programs["sumsquares"].Src); err != nil {
-		return rep, fmt.Errorf("gc-cycle: populate heap: %w", err)
+		return results, fmt.Errorf("gc-cycle: populate heap: %w", err)
 	}
-	m, err := run(bt, func(n int) (int64, error) {
+	m, err := run(bt, func(n int, _ *caseAux) error {
 		for i := 0; i < n; i++ {
 			if rep := mach.RunGC(); !rep.Completed {
-				return 0, fmt.Errorf("gc-cycle: cycle incomplete")
+				return fmt.Errorf("gc-cycle: cycle incomplete")
 			}
 		}
-		return 0, nil
+		return nil
 	})
 	if err != nil {
-		return rep, err
+		return results, err
 	}
-	rep.Results = append(rep.Results, toResult("gc-cycle", 4, false, m))
+	results = append(results, toResult("gc-cycle", 4, false, m))
 
-	return rep, nil
+	return results, nil
+}
+
+// execBalance is the min/max ratio of per-PE execution totals: 1.0 means
+// every PE executed the same number of tasks, 0 means at least one PE sat
+// fully idle. A single-PE machine is trivially balanced.
+func execBalance(execs []int64) float64 {
+	if len(execs) == 0 {
+		return 0
+	}
+	min, max := execs[0], execs[0]
+	for _, e := range execs[1:] {
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(min) / float64(max)
 }
 
 // serveCase measures one serving-layer load pass and self-validates it:

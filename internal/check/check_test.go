@@ -23,7 +23,7 @@ func TestEventJSONLRoundTrip(t *testing.T) {
 	r.OnExecute(0, 2, task.Task{Kind: task.Demand, Src: 1, Dst: 2, Req: graph.ReqVital})
 	r.CycleStart(graph.CtxT, []core.Root{{ID: 5}, {ID: 9, Prior: graph.PriorVital}})
 	r.OnExecute(1, 0, task.Task{Kind: task.Mark, Src: 0, Dst: 5, Ctx: graph.CtxT, Epoch: 7})
-	r.RestructureStart(true)
+	r.RestructureStart(true, 0)
 
 	var buf bytes.Buffer
 	if err := r.WriteJSONL(&buf); err != nil {

@@ -58,8 +58,11 @@ type Event struct {
 	// Cycle fields (Ctx above selects the context).
 	Roots []RootRec `json:"roots,omitempty"`
 
-	// Restructure fields.
-	MT bool `json:"mt,omitempty"`
+	// Restructure fields. Sweep is the recorded sweep scope: 0 (absent in
+	// the JSON, including every log written before the field existed) means
+	// a full-arena sweep; k+1 means an incremental sweep of partition k.
+	MT    bool `json:"mt,omitempty"`
+	Sweep int  `json:"sweep,omitempty"`
 }
 
 // RootRec is a recorded marking root.
@@ -114,8 +117,8 @@ func (r *Recorder) CycleStart(ctx graph.Ctx, roots []core.Root) {
 }
 
 // RestructureStart records a restructuring phase (core.CycleRecorder).
-func (r *Recorder) RestructureStart(mtRan bool) {
-	r.append(Event{Ev: EvRestructure, MT: mtRan})
+func (r *Recorder) RestructureStart(mtRan bool, sweep int) {
+	r.append(Event{Ev: EvRestructure, MT: mtRan, Sweep: sweep})
 }
 
 func (r *Recorder) append(e Event) {

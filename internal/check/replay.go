@@ -49,12 +49,24 @@ func (rp *Replayer) Run(events []Event) error {
 			if rp.Coll == nil {
 				return fmt.Errorf("check: replay event %d is a restructure but no collector is wired", i)
 			}
-			rp.Coll.ReplayRestructure(e.MT)
+			rp.Coll.ReplayRestructure(e.MT, e.Sweep)
 		case EvExec:
 			want := e.Task()
-			ok := rp.Mach.ExecuteMatching(e.PE, func(q task.Task) bool {
-				return sameTask(q, want)
-			}, want)
+			pred := func(q task.Task) bool { return sameTask(q, want) }
+			ok := rp.Mach.ExecuteMatching(e.PE, pred, want)
+			if !ok {
+				// The recorded run may have stolen the task to the PE it
+				// executed on; replay runs with no stealing, so the task sits
+				// in its home partition's pool. Executing it there instead is
+				// the same serialization — the event's PE is bookkeeping, the
+				// task's effect is PE-independent.
+				for pe := 0; pe < rp.Mach.PEs() && !ok; pe++ {
+					if pe == e.PE {
+						continue
+					}
+					ok = rp.Mach.ExecuteMatching(pe, pred, want)
+				}
+			}
 			if !ok {
 				return fmt.Errorf(
 					"check: replay diverged at event %d: %s not queued on PE %d (pool holds %d tasks, machine inflight %d)",

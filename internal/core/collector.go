@@ -61,7 +61,11 @@ type CycleRecorder interface {
 	// exact root set the phase will use.
 	CycleStart(ctx graph.Ctx, roots []Root)
 	// RestructureStart fires immediately before the restructuring phase.
-	RestructureStart(mtRan bool)
+	// sweep is the sweep scope the phase will use: 0 for a full-arena sweep,
+	// k+1 for an incremental sweep of partition k only. The scope is a
+	// scheduling decision (it depends on the cycle's mode and M_T rotation),
+	// so replay must reuse the recorded value.
+	RestructureStart(mtRan bool, sweep int)
 }
 
 // CycleReport summarizes one mark/restructure cycle.
@@ -84,6 +88,9 @@ type CycleReport struct {
 	// Steps is the number of deterministic scheduler steps consumed by the
 	// marking phases (0 in parallel mode).
 	Steps int
+	// Sweep is the restructuring phase's sweep scope: 0 for a full-arena
+	// sweep, k+1 for an incremental sweep of partition k only.
+	Sweep int
 }
 
 // Collector drives the endless cycle: (occasionally M_T, then) M_R, then
@@ -103,6 +110,12 @@ type Collector struct {
 	mu         sync.Mutex
 	cycleN     int64
 	lastTEpoch uint64 // T epoch of the most recent M_T run
+	// nextSweep is the partition the next incremental sweep will cover.
+	// Parallel-mode cycles without M_T sweep one partition per cycle in
+	// rotation, bounding the per-cycle pause; M_T cycles always sweep the
+	// full arena because dead-candidate detection and pending-verdict
+	// re-detection both need a whole-arena view.
+	nextSweep int
 
 	// Two-phase deadlock verdict state. An M_T cycle's DL'_v computation
 	// yields candidates, which go to pending with a sched.Watch armed over
@@ -251,10 +264,17 @@ func (c *Collector) taskRoots() []Root {
 			seen[t.Dst] = true
 		}
 	}
-	for i := 0; i < c.mach.PEs(); i++ {
-		c.mach.Pool(i).Each(add)
-	}
+	// Scan order follows the direction tasks move — fabric → pool → PE
+	// slot — so a task migrating between custody domains mid-snapshot is
+	// seen in at least one of them: a task that left the fabric before the
+	// fabric scan is already queued when the pools are scanned, and a task
+	// popped after the pool scan is published in its PE's current slot
+	// under the pool lock (sched's pop-time publish) before the pop
+	// completes. EachQueued, not pool-by-pool Each: with work stealing on,
+	// only the all-locks-held scan is atomic against cross-pool movement
+	// (see sched.Machine.EachQueued).
 	c.mach.EachInTransit(add)
+	c.mach.EachQueued(add)
 	for _, t := range c.mach.CurrentTasks() {
 		add(t)
 	}
@@ -290,44 +310,90 @@ func (c *Collector) RunCycle() CycleReport {
 	cycleStart := o.Now()
 	o.Event(obs.TIDCollector, "cycle.start", uint64(root), 0, "")
 
-	if c.mtDue(n) {
+	rRoots := []Root{{ID: root, Prior: graph.PriorVital}}
+	if c.mtDue(n) && c.mach.Mode() == sched.Parallel {
+		// Parallel mode overlaps the two marking phases: the contexts keep
+		// disjoint per-vertex marking state (RCtx vs TCtx), so M_T and M_R
+		// tasks interleave freely across the PEs and the cycle's marking
+		// wall-time is max(M_T, M_R) instead of their sum. The sequential
+		// order below is kept for deterministic mode, whose recorded
+		// schedules and golden digests assume it.
 		phaseStart := o.Now()
-		roots := c.taskRoots()
+		// Activate the cycle before snapshotting the pools, so reduction
+		// activity concurrent with the snapshot is covered by the
+		// cooperative hooks rather than silently missed (see
+		// Marker.BeginCycle).
+		doneT := c.marker.BeginCycle(graph.CtxT)
+		tRoots := c.taskRoots()
 		if c.cfg.Recorder != nil {
-			c.cfg.Recorder.CycleStart(graph.CtxT, roots)
+			c.cfg.Recorder.CycleStart(graph.CtxT, tRoots)
 		}
-		done := c.marker.StartCycle(graph.CtxT, roots)
-		rep.Steps += c.waitPhase(graph.CtxT, done, &rep)
+		c.marker.SeedRoots(graph.CtxT, tRoots)
+		if c.cfg.Recorder != nil {
+			c.cfg.Recorder.CycleStart(graph.CtxR, rRoots)
+		}
+		doneR := c.marker.StartCycle(graph.CtxR, rRoots)
+		<-doneT
 		c.mu.Lock()
 		c.lastTEpoch = c.marker.Epoch(graph.CtxT)
 		c.mu.Unlock()
-		rep.MTRan = rep.Completed
-		o.Span("M_T", "collector", obs.TIDCollector, phaseStart, int64(len(roots)))
-		if c.counters != nil && rep.MTRan {
+		rep.MTRan = true
+		o.Span("M_T", "collector", obs.TIDCollector, phaseStart, int64(len(tRoots)))
+		if c.counters != nil {
 			c.counters.MTRuns.Add(1)
 		}
-		if rep.MTRan && c.cfg.AfterPhase != nil {
+		if c.cfg.AfterPhase != nil {
 			c.cfg.AfterPhase(graph.CtxT)
 		}
-	}
-
-	if rep.Completed {
-		phaseStart := o.Now()
-		roots := []Root{{ID: root, Prior: graph.PriorVital}}
-		if c.cfg.Recorder != nil {
-			c.cfg.Recorder.CycleStart(graph.CtxR, roots)
-		}
-		done := c.marker.StartCycle(graph.CtxR, roots)
-		rep.Steps += c.waitPhase(graph.CtxR, done, &rep)
+		<-doneR
 		o.Span("M_R", "collector", obs.TIDCollector, phaseStart, 1)
-		if rep.Completed && c.cfg.AfterPhase != nil {
+		if c.cfg.AfterPhase != nil {
 			c.cfg.AfterPhase(graph.CtxR)
 		}
+	} else {
+		if c.mtDue(n) {
+			phaseStart := o.Now()
+			// Activate before snapshotting, as in the overlap branch. In
+			// deterministic mode nothing executes between the two halves,
+			// so recorded schedules and golden digests are unchanged.
+			done := c.marker.BeginCycle(graph.CtxT)
+			roots := c.taskRoots()
+			if c.cfg.Recorder != nil {
+				c.cfg.Recorder.CycleStart(graph.CtxT, roots)
+			}
+			c.marker.SeedRoots(graph.CtxT, roots)
+			rep.Steps += c.waitPhase(graph.CtxT, done, &rep)
+			c.mu.Lock()
+			c.lastTEpoch = c.marker.Epoch(graph.CtxT)
+			c.mu.Unlock()
+			rep.MTRan = rep.Completed
+			o.Span("M_T", "collector", obs.TIDCollector, phaseStart, int64(len(roots)))
+			if c.counters != nil && rep.MTRan {
+				c.counters.MTRuns.Add(1)
+			}
+			if rep.MTRan && c.cfg.AfterPhase != nil {
+				c.cfg.AfterPhase(graph.CtxT)
+			}
+		}
+
+		if rep.Completed {
+			phaseStart := o.Now()
+			if c.cfg.Recorder != nil {
+				c.cfg.Recorder.CycleStart(graph.CtxR, rRoots)
+			}
+			done := c.marker.StartCycle(graph.CtxR, rRoots)
+			rep.Steps += c.waitPhase(graph.CtxR, done, &rep)
+			o.Span("M_R", "collector", obs.TIDCollector, phaseStart, 1)
+			if rep.Completed && c.cfg.AfterPhase != nil {
+				c.cfg.AfterPhase(graph.CtxR)
+			}
+		}
 	}
 
 	if rep.Completed {
+		rep.Sweep = c.sweepScope(rep.MTRan)
 		if c.cfg.Recorder != nil {
-			c.cfg.Recorder.RestructureStart(rep.MTRan)
+			c.cfg.Recorder.RestructureStart(rep.MTRan, rep.Sweep)
 		}
 		phaseStart := o.Now()
 		c.restructure(&rep)
@@ -367,13 +433,33 @@ func (c *Collector) ReplayCycleStart(ctx graph.Ctx, roots []Root) {
 	}
 }
 
+// sweepScope decides the restructuring phase's sweep scope for a live
+// cycle: 0 (full arena) or k+1 (partition k only). Parallel-mode cycles
+// without M_T rotate through the partitions one per cycle, so the sweep's
+// stop-the-arena work is bounded by one partition slice; M_T cycles and all
+// deterministic cycles sweep everything (deadlock detection and golden
+// schedules both depend on the full scan).
+func (c *Collector) sweepScope(mtRan bool) int {
+	if c.mach.Mode() != sched.Parallel || mtRan || c.store.Partitions() < 2 {
+		return 0
+	}
+	c.mu.Lock()
+	part := c.nextSweep
+	c.nextSweep = (part + 1) % c.store.Partitions()
+	c.mu.Unlock()
+	return part + 1
+}
+
 // ReplayRestructure runs one restructuring phase at a recorded position in
-// the schedule. mtRan is the recorded M_T flag for the cycle; it gates
-// deadlock detection exactly as in the live run.
-func (c *Collector) ReplayRestructure(mtRan bool) CycleReport {
+// the schedule. mtRan is the recorded M_T flag for the cycle and sweep the
+// recorded sweep scope (0 = full arena, k+1 = partition k); they gate
+// deadlock detection and the sweep's coverage exactly as in the live run —
+// an incremental sweep replayed as a full one would reclaim garbage cycles
+// earlier than the recording did.
+func (c *Collector) ReplayRestructure(mtRan bool, sweep int) CycleReport {
 	c.mu.Lock()
 	c.cycleN++
-	rep := CycleReport{Cycle: c.cycleN, MTRan: mtRan, Completed: true}
+	rep := CycleReport{Cycle: c.cycleN, MTRan: mtRan, Completed: true, Sweep: sweep}
 	c.mu.Unlock()
 	c.restructure(&rep)
 	if c.counters != nil {
@@ -401,7 +487,13 @@ func (c *Collector) waitPhase(ctx graph.Ctx, done <-chan struct{}, rep *CycleRep
 
 // restructure is the restructuring phase: sweep garbage to F, detect
 // deadlocked vertices, expunge irrelevant tasks, and reprioritize the task
-// pools from the marked priorities.
+// pools from the marked priorities. rep.Sweep scopes the sweep: 0 scans the
+// full arena; k+1 scans only partition k (incremental mode — garbage in
+// other partitions is simply collected on a later rotation, which is safe
+// because unreachability is stable: nothing can re-reference a vertex no
+// path reaches). The expunge below uses this cycle's garbageSet, so every
+// task destined to a vertex freed THIS cycle is deleted in the same cycle
+// regardless of scope — the invariant that makes freeing safe at all.
 func (c *Collector) restructure(rep *CycleReport) {
 	epochR := c.marker.Epoch(graph.CtxR)
 	c.mu.Lock()
@@ -414,7 +506,12 @@ func (c *Collector) restructure(rep *CycleReport) {
 
 	o := c.cfg.Obs
 	sweepStart := o.Now()
-	c.store.ForEach(func(v *graph.Vertex) {
+	forEach := c.store.ForEach
+	if rep.Sweep > 0 {
+		part := rep.Sweep - 1
+		forEach = func(fn func(*graph.Vertex)) { c.store.ForEachInPartition(part, fn) }
+	}
+	forEach(func(v *graph.Vertex) {
 		v.Lock()
 		defer v.Unlock()
 		if v.Kind == graph.KindFree {

@@ -306,6 +306,12 @@ func TestCollectorFreshAllocationsSurviveCycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Splice the fresh vertex in (stamping its real alloc epochs), then cut
+	// the edge again: it is now genuine garbage born this cycle.
+	r.mut.ExpandNode(root, []*graph.Vertex{fresh}, func() {
+		root.AddArg(fresh.ID, graph.ReqNone)
+	})
+	r.mut.DeleteReference(root, fresh)
 	r.mach.RunUntil(func() bool { return r.marker.Done(graph.CtxR) }, 100000)
 	rep := CycleReport{Cycle: 1, Completed: true}
 	col.restructure(&rep)
@@ -536,5 +542,74 @@ func TestCollectorForgetAcrossMT(t *testing.T) {
 	col.RunCycle()
 	if len(reported) != 1 || reported[0] != w.ID {
 		t.Fatalf("re-reported = %v, want [%d]", reported, w.ID)
+	}
+}
+
+// sweepFixture builds a 4-partition heap with a marked reachable chain and
+// unreachable garbage spread over every partition, runs one M_R cycle, and
+// returns the collector plus the IDs of the garbage vertices.
+func sweepFixture(t *testing.T) (*rig, *Collector, []graph.VertexID) {
+	t.Helper()
+	r := newRig(t, 4, 17, false)
+	root := r.vertex(graph.KindApply)
+	live := root
+	for i := 0; i < 7; i++ {
+		nxt, err := r.store.Alloc(i%4, graph.KindApply, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.edge(live, nxt, graph.ReqVital)
+		live = nxt
+	}
+	var garbage []graph.VertexID
+	for i := 0; i < 12; i++ {
+		g, err := r.store.Alloc(i%4, graph.KindApply, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		garbage = append(garbage, g.ID)
+	}
+	col := NewCollector(r.store, r.marker, r.mach, r.counters, CollectorConfig{Root: root.ID})
+	r.runCycle(graph.CtxR, Root{ID: root.ID, Prior: graph.PriorVital})
+	return r, col, garbage
+}
+
+func TestIncrementalSweepConservation(t *testing.T) {
+	// The union of the four per-partition sweeps of one marking epoch frees
+	// exactly the set a single full sweep would: unreachability is stable,
+	// so rotating the scope delays reclamation but never changes it.
+	rFull, colFull, garbFull := sweepFixture(t)
+	full := colFull.ReplayRestructure(false, 0)
+
+	rInc, colInc, garbInc := sweepFixture(t)
+	var incTotal int64
+	for part := 0; part < rInc.store.Partitions(); part++ {
+		rep := colInc.ReplayRestructure(false, part+1)
+		incTotal += int64(rep.Reclaimed)
+	}
+
+	if int64(full.Reclaimed) != incTotal {
+		t.Fatalf("full sweep reclaimed %d, partition rotation reclaimed %d", full.Reclaimed, incTotal)
+	}
+	if full.Reclaimed == 0 {
+		t.Fatal("fixture produced no garbage")
+	}
+	for i := range garbFull {
+		if !rFull.store.IsFree(garbFull[i]) {
+			t.Errorf("full sweep: garbage v%d not freed", garbFull[i])
+		}
+		if !rInc.store.IsFree(garbInc[i]) {
+			t.Errorf("partition rotation: garbage v%d not freed", garbInc[i])
+		}
+	}
+	// And the sweeps agree vertex by vertex across the whole arena, not
+	// just on the planted garbage.
+	if nf, ni := rFull.store.FreeCount(), rInc.store.FreeCount(); nf != ni {
+		t.Fatalf("free counts diverge: full=%d incremental=%d", nf, ni)
+	}
+	for id := graph.VertexID(1); int(id) <= rFull.store.Len(); id++ {
+		if rFull.store.IsFree(id) != rInc.store.IsFree(id) {
+			t.Errorf("v%d: full free=%v, incremental free=%v", id, rFull.store.IsFree(id), rInc.store.IsFree(id))
+		}
 	}
 }

@@ -99,37 +99,74 @@ func (m *Marker) UnderflowCount(c graph.Ctx) int64 { return m.ctxs[c].negCnt.Loa
 // StaleDropped returns the number of stale marking tasks dropped.
 func (m *Marker) StaleDropped(c graph.Ctx) int64 { return m.ctxs[c].staleDropped.Load() }
 
-// StartCycle begins a new marking cycle for the context: it advances the
-// epoch (implicitly unmarking every vertex), then spawns one mark task per
-// root with rootpar (NilVertex) as the marking-tree parent. The returned
-// channel is closed when every root's return has been received — the
-// paper's "wait until done".
-func (m *Marker) StartCycle(c graph.Ctx, roots []Root) <-chan struct{} {
+// BeginCycle opens a new marking cycle for the context before its roots are
+// known: it advances the epoch (implicitly unmarking every vertex) and marks
+// the cycle active, holding one sentinel pending root that SeedRoots later
+// releases. The returned channel is closed when every root's return has been
+// received — the paper's "wait until done".
+//
+// Activating the cycle BEFORE the caller computes the root set is what makes
+// M_T's taskpool snapshot sound in parallel mode: the snapshot is not atomic
+// with respect to the PEs, and a reduction step can pass through instants
+// where a waiting vertex's only task-reachability is the executing PE's
+// program counter (e.g. complete() removes the requester backlink before it
+// spawns the Result task that replaces it). With the cycle already active,
+// every such spawn runs the cooperative hooks (Mutator.CoopTaskSpawn,
+// coopTaskEdgeLocked) and registers still-unmarked endpoints as extra cycle
+// roots — so any activity concurrent with the snapshot is covered by
+// cooperation, and anything earlier is covered by the snapshot itself.
+func (m *Marker) BeginCycle(c graph.Ctx) <-chan struct{} {
 	st := &m.ctxs[c]
 	st.mu.Lock()
-	epoch := st.epoch.Add(1)
-	st.pendingRoots = int64(len(roots))
+	st.epoch.Add(1)
+	st.pendingRoots = 1 // seeding sentinel, released by SeedRoots
 	st.done = make(chan struct{})
 	ch := st.done
-	if len(roots) == 0 {
-		st.active.Store(false)
-		close(st.done)
-		st.mu.Unlock()
-		return ch
-	}
 	st.active.Store(true)
 	st.mu.Unlock()
+	return ch
+}
 
-	for _, r := range roots {
-		m.mach.Spawn(task.Task{
-			Kind:  task.Mark,
-			Src:   graph.NilVertex, // rootpar
-			Dst:   r.ID,
-			Ctx:   c,
-			Prior: r.Prior,
-			Epoch: epoch,
-		})
+// SeedRoots registers and spawns the cycle's root set, then releases
+// BeginCycle's seeding sentinel (so an empty root set completes the cycle
+// immediately, unless cooperation added roots in between).
+func (m *Marker) SeedRoots(c graph.Ctx, roots []Root) {
+	st := &m.ctxs[c]
+	st.mu.Lock()
+	epoch := st.epoch.Load()
+	st.pendingRoots += int64(len(roots))
+	st.mu.Unlock()
+
+	if len(roots) > 0 {
+		// Seed the whole frontier in one batch: SpawnBatch buckets the root
+		// marks by destination partition and delivers each bucket under a
+		// single pool lock, so an M_T cycle with thousands of taskpool roots
+		// fans out across the PEs in O(partitions) lock acquisitions instead
+		// of O(roots) — the seeding step no longer serializes the phase it
+		// starts.
+		ts := make([]task.Task, len(roots))
+		for i, r := range roots {
+			ts[i] = task.Task{
+				Kind:  task.Mark,
+				Src:   graph.NilVertex, // rootpar
+				Dst:   r.ID,
+				Ctx:   c,
+				Prior: r.Prior,
+				Epoch: epoch,
+			}
+		}
+		m.mach.SpawnBatch(ts)
 	}
+	m.rootReturn(c) // release the seeding sentinel
+}
+
+// StartCycle begins a new marking cycle with a root set known up front:
+// BeginCycle immediately followed by SeedRoots. M_R and schedule replay use
+// it; M_T's live path interleaves its taskpool snapshot between the two
+// halves (see BeginCycle).
+func (m *Marker) StartCycle(c graph.Ctx, roots []Root) <-chan struct{} {
+	ch := m.BeginCycle(c)
+	m.SeedRoots(c, roots)
 	return ch
 }
 

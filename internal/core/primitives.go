@@ -86,19 +86,21 @@ func (mu *Mutator) coopCount() {
 	}
 }
 
-// Alloc takes a vertex from the free list and stamps it with the current
-// M_R epoch, so the restructuring sweep can honor reduction axiom 1 (new
-// vertices come only from F and are not garbage in the cycle that saw them
-// allocated).
+// Alloc takes a vertex from the free list stamped with FreshAllocEpoch, so
+// the restructuring sweep honors reduction axiom 1 (new vertices come only
+// from F and are never garbage) throughout the allocation limbo. Stamping a
+// real epoch here would race the sweep two ways: the stamp lands after the
+// vertex is already labeled non-free, and the allocating goroutine can stall
+// for whole cycles between Alloc and the splice that makes the vertex
+// reachable — either way a sweep would reclaim the vertex before it is
+// wired. The splice primitives (Rewrite, ExpandNode) record the real alloc
+// epochs under the vertex locks at wiring time.
 func (mu *Mutator) Alloc(part int, kind graph.Kind, val int64) (*graph.Vertex, error) {
-	v, err := mu.store.Alloc(part, kind, val)
+	v, err := mu.store.AllocStamped(part, kind, val,
+		graph.FreshAllocEpoch, graph.FreshAllocEpoch)
 	if err != nil {
 		return nil, err
 	}
-	v.Lock()
-	v.Red.AllocEpoch = mu.marker.Epoch(graph.CtxR)
-	v.Red.AllocEpochT = mu.marker.Epoch(graph.CtxT)
-	v.Unlock()
 	if mu.counters != nil {
 		mu.counters.Allocations.Add(1)
 	}
@@ -302,7 +304,8 @@ func (mu *Mutator) CompleteRequest(x, y *graph.Vertex) {
 	unlock := lockAll(x, y)
 	defer unlock()
 	y.RemoveRequester(x.ID)
-	if x.SetReqKind(y.ID, graph.ReqNone) {
+	ok := x.SetReqKind(y.ID, graph.ReqNone)
+	if ok {
 		mu.coopTaskEdgeLocked(x, y)
 	}
 }
@@ -383,6 +386,8 @@ func (mu *Mutator) CoopTaskSpawn(src, dst graph.VertexID) {
 			v.Red.AllocEpochT < epoch &&
 			v.CtxOf(graph.CtxT).StateAt(epoch) == graph.Unmarked
 		v.Unlock()
+		if needsRoot {
+		}
 		if needsRoot && mu.marker.AddRootDuringCycle(graph.CtxT, id, 0) {
 			mu.coopCount()
 		}

@@ -316,10 +316,25 @@ func TestMutatorAllocStampsEpochs(t *testing.T) {
 	r.runCycle(graph.CtxR, Root{ID: root.ID, Prior: graph.PriorVital})
 	r.runCycle(graph.CtxT, Root{ID: root.ID})
 
+	// A freshly claimed vertex carries the FreshAllocEpoch sentinel — it is
+	// sweep-immune during allocation limbo, before any splice wires it in.
 	v, err := r.mut.Alloc(0, graph.KindInt, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	v.Lock()
+	if v.Red.AllocEpoch != graph.FreshAllocEpoch {
+		t.Fatalf("AllocEpoch = %d, want FreshAllocEpoch", v.Red.AllocEpoch)
+	}
+	if v.Red.AllocEpochT != graph.FreshAllocEpoch {
+		t.Fatalf("AllocEpochT = %d, want FreshAllocEpoch", v.Red.AllocEpochT)
+	}
+	v.Unlock()
+
+	// The splice stamps the real epochs at wiring time.
+	r.mut.ExpandNode(root, []*graph.Vertex{v}, func() {
+		root.AddArg(v.ID, graph.ReqNone)
+	})
 	v.Lock()
 	defer v.Unlock()
 	if v.Red.AllocEpoch != r.marker.Epoch(graph.CtxR) {

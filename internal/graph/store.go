@@ -196,7 +196,22 @@ func (s *Store) MustVertex(id VertexID) *Vertex {
 // partition is misrouting an allocation — silently clamping it to 0 would
 // put the vertex on the wrong PE and mask the bug — so Alloc panics,
 // naming the offending value (the same philosophy as sched.Machine.PartOf).
+//
+// Alloc stamps AllocEpoch/AllocEpochT to zero, which is only safe while no
+// concurrent sweep runs (graph construction, tests). Mutators racing a
+// collector must use AllocStamped.
 func (s *Store) Alloc(part int, kind Kind, val int64) (*Vertex, error) {
+	return s.AllocStamped(part, kind, val, 0, 0)
+}
+
+// AllocStamped is Alloc with the vertex's alloc epochs written inside the
+// same critical section that labels it non-free. The restructuring sweep
+// runs concurrently with allocation; if the vertex became non-free with a
+// stale epoch even briefly, a sweep scanning that window would see an
+// unmarked, unprotected vertex and reclaim it before the caller wires it
+// into the graph. Concurrent mutators pass FreshAllocEpoch for both stamps
+// and let the splice primitive record the real epochs at wiring time.
+func (s *Store) AllocStamped(part int, kind Kind, val int64, epochR, epochT uint64) (*Vertex, error) {
 	if part < 0 || part >= s.parts {
 		panic(fmt.Sprintf("graph: Alloc partition %d out of range [0,%d)", part, s.parts))
 	}
@@ -227,7 +242,7 @@ func (s *Store) Alloc(part int, kind Kind, val int64) (*Vertex, error) {
 	v.Lock()
 	v.Kind = kind
 	v.Val = val
-	v.Red = RedState{}
+	v.Red = RedState{AllocEpoch: epochR, AllocEpochT: epochT}
 	v.Unlock()
 	return v, nil
 }

@@ -262,6 +262,8 @@ type RedState struct {
 	// AllocEpoch records the M_R epoch at which the vertex left the free
 	// list; the restructuring sweep skips vertices allocated during the
 	// cycle being swept (reduction axiom 1: R expands only from F).
+	// Vertices claimed through Store.AllocStamped carry FreshAllocEpoch
+	// until a splice primitive stamps the real epoch at wiring time.
 	AllocEpoch uint64
 	// AllocEpochT records the M_T epoch at allocation time; the deadlock
 	// detector only inspects vertices that predate the cycle's M_T run
@@ -269,6 +271,15 @@ type RedState struct {
 	// deadlocked).
 	AllocEpochT uint64
 }
+
+// FreshAllocEpoch is the alloc-epoch sentinel carried by a vertex from the
+// moment it leaves the free list until a splice primitive (Rewrite,
+// ExpandNode) stamps the real epochs at wiring time. It compares greater
+// than every real epoch, so reduction axiom 1 shields the vertex from the
+// restructuring sweep during the whole allocation limbo: a concurrently
+// scanning sweep would otherwise observe a non-free, unmarked vertex with a
+// stale epoch and reclaim it before the mutator ever wires it in.
+const FreshAllocEpoch = ^uint64(0)
 
 // IsValueLocked reports whether the vertex already holds its ultimate
 // value (weak head normal form). Such a vertex awaits nothing, so it can

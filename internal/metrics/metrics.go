@@ -32,6 +32,11 @@ type Counters struct {
 	MaxPauseNs      atomic.Int64 // longest single mutator pause (stop-the-world baseline)
 	TotalPauseNs    atomic.Int64 // cumulative mutator pause time
 
+	// Work-stealing activity (zero unless sched.Config.Steal is on).
+	Steals      atomic.Int64 // successful steal operations (batches taken)
+	StolenTasks atomic.Int64 // tasks moved between PE pools by stealing
+	IdlePolls   atomic.Int64 // times a PE found no work (own pool and peers empty)
+
 	// Invariant checker activity (zero unless internal/check is wired in).
 	CheckRuns       atomic.Int64 // sample points where a check actually ran
 	CheckViolations atomic.Int64 // invariant violations reported
@@ -179,6 +184,10 @@ type Snapshot struct {
 	MaxPauseNs        int64
 	TotalPauseNs      int64
 
+	Steals      int64
+	StolenTasks int64
+	IdlePolls   int64
+
 	CheckRuns       int64
 	CheckViolations int64
 	CheckSkipped    int64
@@ -215,6 +224,10 @@ func (c *Counters) Snapshot() Snapshot {
 		CoopMarks:         c.CoopMarks.Load(),
 		MaxPauseNs:        c.MaxPauseNs.Load(),
 		TotalPauseNs:      c.TotalPauseNs.Load(),
+
+		Steals:      c.Steals.Load(),
+		StolenTasks: c.StolenTasks.Load(),
+		IdlePolls:   c.IdlePolls.Load(),
 
 		CheckRuns:       c.CheckRuns.Load(),
 		CheckViolations: c.CheckViolations.Load(),
@@ -264,6 +277,10 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		MaxPauseNs:        s.MaxPauseNs,
 		TotalPauseNs:      s.TotalPauseNs + o.TotalPauseNs,
 
+		Steals:      s.Steals + o.Steals,
+		StolenTasks: s.StolenTasks + o.StolenTasks,
+		IdlePolls:   s.IdlePolls + o.IdlePolls,
+
 		CheckRuns:       s.CheckRuns + o.CheckRuns,
 		CheckViolations: s.CheckViolations + o.CheckViolations,
 		CheckSkipped:    s.CheckSkipped + o.CheckSkipped,
@@ -300,6 +317,10 @@ func (s Snapshot) String() string {
 			s.FabricSent, s.FabricDelivered, s.FabricBatches, s.FabricDropped,
 			s.FabricRetries, s.FabricDuplicates, s.FabricLatency)
 	}
+	if s.Steals > 0 || s.IdlePolls > 0 {
+		out += fmt.Sprintf(" steal(ops=%d tasks=%d idle=%d)",
+			s.Steals, s.StolenTasks, s.IdlePolls)
+	}
 	if s.CheckRuns > 0 {
 		out += fmt.Sprintf(" check(runs=%d violations=%d skipped=%d)",
 			s.CheckRuns, s.CheckViolations, s.CheckSkipped)
@@ -328,6 +349,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		CoopMarks:         s.CoopMarks - o.CoopMarks,
 		MaxPauseNs:        s.MaxPauseNs,
 		TotalPauseNs:      s.TotalPauseNs - o.TotalPauseNs,
+
+		Steals:      s.Steals - o.Steals,
+		StolenTasks: s.StolenTasks - o.StolenTasks,
+		IdlePolls:   s.IdlePolls - o.IdlePolls,
 
 		CheckRuns:       s.CheckRuns - o.CheckRuns,
 		CheckViolations: s.CheckViolations - o.CheckViolations,

@@ -184,13 +184,19 @@ func (e *Engine) Demand(root graph.VertexID) <-chan Value {
 	return ch
 }
 
-// spawn enqueues a reduction task, cooperating with any active M_T cycle
-// first: a task spawned after the cycle's pool snapshot is the sole carrier
+// spawn enqueues a reduction task, then cooperates with any active M_T
+// cycle: a task spawned after the cycle's pool snapshot is the sole carrier
 // of task-reachability to its endpoints, so they must be registered as
-// extra marking roots or the deadlock detector can misreport them.
+// extra marking roots or the deadlock detector can misreport them. The
+// push comes first: were cooperation checked before the push, a cycle
+// beginning between the two (coop sees no active cycle, snapshot misses
+// the not-yet-pushed task) would leave the task invisible to both views.
+// Pushing first makes the pair airtight — a snapshot after the push sees
+// the task queued, and a cycle activated before the push is active when
+// the cooperation check runs.
 func (e *Engine) spawn(t task.Task) {
-	e.mut.CoopTaskSpawn(t.Src, t.Dst)
 	e.mach.Spawn(t)
+	e.mut.CoopTaskSpawn(t.Src, t.Dst)
 }
 
 // Handle implements sched.Handler for reduction tasks.
@@ -269,6 +275,13 @@ func (e *Engine) reply(v *graph.Vertex, src graph.VertexID) {
 // complete finishes v's evaluation: replies to every requester (removing
 // them from requested(v) and resetting their request edges, per reduction
 // axiom 5's contrapositive) and notifies root waiters.
+//
+// The Result is spawned before CompleteRequest tears the backlink down:
+// the requester's T-coverage may flow entirely through requested(v) (v's
+// subtree holds the only live tasks), so removing it first would leave
+// the requester task-unreachable until the spawn lands — an unbounded
+// window under goroutine preemption, and a false-deadlock source. The
+// queued Result (Dst = requester) covers it through the transition.
 func (e *Engine) complete(v *graph.Vertex) {
 	v.Lock()
 	if !e.whnfLocked(v) {
@@ -285,8 +298,8 @@ func (e *Engine) complete(v *graph.Vertex) {
 		if src == nil {
 			continue
 		}
-		e.mut.CompleteRequest(src, v)
 		e.spawn(task.Task{Kind: task.Result, Src: v.ID, Dst: r.Src})
+		e.mut.CompleteRequest(src, v)
 	}
 	e.notifyRoot(v)
 }
@@ -333,9 +346,19 @@ func (e *Engine) demandKind(v *graph.Vertex) graph.ReqKind {
 	return kind
 }
 
-// demandFrom spawns a demand from parent for child's value, recording the
-// request kind on the parent's edge first ("a task has been spawned on
-// each element of req-args(v)"). Already-requested edges are not
+// demandFrom spawns a demand from parent for child's value, then records
+// the request kind on the parent's edge. The spawn MUST come first: the
+// model's invariant is that "a task has been spawned on each element of
+// req-args(v)", and moving the edge into req-args removes the child from
+// C(parent) — M_T stops tracing it downward — so from that instant the
+// demand task is the child's only carrier of task-reachability. Setting
+// the edge first opens a window (unbounded, if this goroutine is
+// preempted) in which the child is covered by neither the parent's edge
+// nor any task, and the deadlock detector confirms it as a false
+// positive. Spawning first only over-covers: until the edge moves, the
+// child is traced both via C(parent) and via the queued task. If the edge
+// vanished under a concurrent rewrite the spawned demand is moot but
+// harmless (the handler tolerates it). Already-requested edges are not
 // re-demanded unless the kind is being upgraded.
 func (e *Engine) demandFrom(parent *graph.Vertex, childID graph.VertexID, kind graph.ReqKind) {
 	child := e.store.Vertex(childID)
@@ -348,10 +371,8 @@ func (e *Engine) demandFrom(parent *graph.Vertex, childID graph.VertexID, kind g
 	if cur >= kind && cur != graph.ReqNone {
 		return // already requested at sufficient urgency
 	}
-	if !e.mut.SetRequestKind(parent, child, kind) {
-		return // edge vanished under a concurrent rewrite: demand is moot
-	}
 	e.spawn(task.Task{Kind: task.Demand, Src: parent.ID, Dst: childID, Req: kind})
+	e.mut.SetRequestKind(parent, child, kind)
 }
 
 // demandOperand demands a strict operand of a compiled-super redex on
@@ -380,10 +401,13 @@ func (e *Engine) demandOperand(v *graph.Vertex, ownerID, childID graph.VertexID,
 		}
 	}
 	child.Unlock()
-	// The edge may have vanished under a concurrent rewrite of the spine;
-	// the demand is still sound (v re-collects the spine when re-stepped).
-	e.mut.SetRequestKind(owner, child, kind)
+	// Spawn before annotating the owning edge, for the same reason as
+	// demandFrom: once the edge enters req-args the task is the operand's
+	// only task-reachability carrier, so it must already be queued. The
+	// edge may have vanished under a concurrent rewrite of the spine; the
+	// demand is still sound (v re-collects the spine when re-stepped).
 	e.spawn(task.Task{Kind: task.Demand, Src: v.ID, Dst: childID, Req: kind})
+	e.mut.SetRequestKind(owner, child, kind)
 }
 
 // ---- WHNF machinery ----

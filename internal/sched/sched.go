@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dgr/internal/fabric"
 	"dgr/internal/graph"
@@ -119,6 +120,16 @@ type Config struct {
 	// must match the machine's.
 	Fabric *fabric.Fabric
 
+	// Steal, in parallel mode, lets a PE whose band queues are empty take a
+	// batch from the tail of the most-loaded peer's rings instead of
+	// blocking. Deterministic mode ignores it (the seeded scheduler already
+	// sees every pool, and schedules must stay byte-identical to the
+	// recorded goldens).
+	Steal bool
+	// StealBatch caps the number of tasks one steal operation moves
+	// (default 32); a steal takes at most half the victim's queue.
+	StealBatch int
+
 	// Obs, when non-nil, receives per-execution timing, batch spans, and
 	// idle transitions. Every call is a nil-safe no-op when unset, so the
 	// hot path pays one pointer test for the disabled layer.
@@ -192,12 +203,15 @@ type Machine struct {
 
 // curSlot is one PE's in-execution task slot. Padding keeps neighboring
 // PEs' slots off each other's cache lines (each PE writes its slot twice
-// per task).
+// per task). execs rides along under the same per-PE lock: it is the PE's
+// execution count, incremented on a lock acquisition the hot path already
+// pays, and read (rarely) by ExecutionsByPE for balance reporting.
 type curSlot struct {
 	mu    sync.Mutex
 	t     task.Task
 	valid bool
-	_     [24]byte
+	execs uint64
+	_     [16]byte
 }
 
 // New builds a machine. SetHandler must be called before any task executes.
@@ -214,6 +228,9 @@ func New(cfg Config) *Machine {
 	if cfg.PartOf == nil {
 		panic("sched: Config.PartOf is required")
 	}
+	if cfg.StealBatch <= 0 {
+		cfg.StealBatch = defaultStealBatch
+	}
 	m := &Machine{
 		cfg:   cfg,
 		pools: make([]*task.Pool, cfg.PEs),
@@ -224,6 +241,21 @@ func New(cfg Config) *Machine {
 	m.stepScratch = make([]int, 0, cfg.PEs)
 	for i := range m.pools {
 		m.pools[i] = task.NewPool()
+		// Publish every consumed task as PE i's in-execution task while the
+		// pool lock is still held (pool i is consumed only by PE i; stolen
+		// tasks land in the thief's own pool before being popped). Between
+		// the pop and execute's own publish a task would otherwise be
+		// invisible to both EachQueued and CurrentTasks — M_T's troot
+		// snapshot reads the pools first and the current slots second, so
+		// with the pop-time publish every task is in at least one view at
+		// every instant.
+		slot := &m.current[i]
+		m.pools[i].SetOnTake(func(t task.Task) {
+			slot.mu.Lock()
+			slot.t = t
+			slot.valid = true
+			slot.mu.Unlock()
+		})
 	}
 	if cfg.Fabric != nil {
 		m.fab = cfg.Fabric
@@ -286,24 +318,22 @@ func (m *Machine) PartOf(id graph.VertexID) int {
 	return p
 }
 
-// hostPE is the conventional origin of external spawns (the initial root
-// demand, the collector's root marks): the partition hosting the root.
-const hostPE = 0
-
 // originOf infers the PE a spawn originates on. A task with a source vertex
 // is spawned by the PE executing at that vertex (handlers set Src to a
-// vertex on the executing partition). A sourceless Reduce is a PE's local
-// self-continuation for its own destination. Every other sourceless spawn
-// comes from outside the ensemble — the evaluator's root demand, the
-// collector's root marks — and is attributed to the host PE.
+// vertex on the executing partition); it is remote exactly when the source
+// and destination partitions differ. A sourceless spawn comes from outside
+// the ensemble — the evaluator's root demand, the collector's root marks, a
+// PE's self-continuation — and the injecting runtime is co-resident with
+// every partition: it can hand the task to the destination pool directly,
+// so no fabric hop (and no remote message) is charged. The previous
+// convention pinned external spawns to PE 0, which made every M_T cycle pay
+// one fabric transit per root on another partition — pure simulation
+// artifact, since nothing actually travels between partitions.
 func (m *Machine) originOf(t task.Task) int {
 	if t.Src != graph.NilVertex {
 		return m.PartOf(t.Src)
 	}
-	if t.Kind == task.Reduce {
-		return m.PartOf(t.Dst)
-	}
-	return hostPE
+	return m.PartOf(t.Dst)
 }
 
 // Spawn enqueues a task on the PE owning its destination. It corresponds to
@@ -335,6 +365,59 @@ func (m *Machine) Spawn(t task.Task) {
 		return
 	}
 	m.pools[dst].Push(t)
+}
+
+// SpawnBatch enqueues many tasks with one pool-lock acquisition per
+// destination partition instead of one per task. The collector's marking
+// cycles use it to seed a whole root set at once: an M_T frontier of
+// thousands of roots fans out across the partitions as len(pools) batched
+// pushes, so cycle seeding stops serializing on per-task lock traffic.
+// Semantics match len(ts) Spawn calls exactly — same hooks, same counters,
+// same per-pool FIFO order — so deterministic schedules are unchanged.
+func (m *Machine) SpawnBatch(ts []task.Task) {
+	if len(ts) == 0 {
+		return
+	}
+	onSpawn := m.cfg.OnSpawn
+	w := m.watch.Load()
+	buckets := make([][]task.Task, m.cfg.PEs)
+	var local, remote int64
+	for _, t := range ts {
+		if onSpawn != nil {
+			onSpawn(t)
+		}
+		if w != nil {
+			w.Note(t)
+		}
+		dst := m.PartOf(t.Dst)
+		if origin := m.originOf(t); origin != dst {
+			remote++
+			m.inflight.Add(1)
+			if m.fab != nil {
+				m.fab.Enqueue(origin, dst, t)
+			} else {
+				m.pools[dst].Push(t)
+			}
+			continue
+		}
+		local++
+		buckets[dst] = append(buckets[dst], t)
+	}
+	for pe, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		m.inflight.Add(int64(len(b)))
+		m.pools[pe].PushBatch(b)
+	}
+	if c := m.cfg.Counters; c != nil {
+		if remote > 0 {
+			c.RemoteMessages.Add(remote)
+		}
+		if local > 0 {
+			c.LocalMessages.Add(local)
+		}
+	}
 }
 
 // finish marks one task execution complete and signals quiescence waiters.
@@ -373,6 +456,7 @@ func (m *Machine) execute(pe int, t task.Task) {
 	slot.mu.Lock()
 	slot.t = t
 	slot.valid = true
+	slot.execs++
 	slot.mu.Unlock()
 	m.cfg.Obs.TaskStart(pe)
 	m.handler.Handle(t)
@@ -389,6 +473,20 @@ func (m *Machine) execute(pe int, t task.Task) {
 // Executions returns the number of task executions started so far.
 func (m *Machine) Executions() uint64 { return m.execSeq.Load() }
 
+// ExecutionsByPE returns each PE's execution count, indexed by PE. The
+// benchmark harness derives execution-balance figures from it; unlike the
+// observability layer's per-PE counters it is always available.
+func (m *Machine) ExecutionsByPE() []uint64 {
+	out := make([]uint64, len(m.current))
+	for i := range m.current {
+		s := &m.current[i]
+		s.mu.Lock()
+		out[i] = s.execs
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Expunge removes queued tasks matching pred from PE pe's pool, keeping
 // the in-flight accounting consistent (an expunged task will never execute,
 // so it must not be waited for). It returns the number removed.
@@ -400,6 +498,18 @@ func (m *Machine) Expunge(pe int, pred func(task.Task) bool) int {
 		m.cond.Broadcast()
 	}
 	return n
+}
+
+// EachQueued calls fn for every task queued in any PE's pool as one atomic
+// observation: every pool lock is held for the duration (task.EachAcross),
+// so a concurrent steal — which holds both affected pool locks — can never
+// move a task from a not-yet-scanned pool into an already-scanned one and
+// hide it. M_T's taskpool snapshot must use this instead of scanning
+// Pool.Each pool by pool: a steal-hidden reduction task leaves its whole
+// task-reachable subtree unmarked, and the verdict watch only covers the
+// candidate vertices themselves, so the transitive miss would not be vetoed.
+func (m *Machine) EachQueued(fn func(task.Task)) {
+	task.EachAcross(m.pools, fn)
 }
 
 // EachInTransit calls fn for every task currently inside the fabric
@@ -570,18 +680,93 @@ func (m *Machine) Start() {
 func (m *Machine) peLoop(i int) {
 	defer m.wg.Done()
 	o := m.cfg.Obs
+	if !m.cfg.Steal {
+		for {
+			t, ok := m.pools[i].TryPop()
+			if !ok {
+				// About to block: close the open execution-batch span so the
+				// trace shows the busy interval ending here, then wait.
+				o.PEIdle(i)
+				if t, ok = m.pools[i].PopWait(); !ok {
+					return
+				}
+			}
+			m.execute(i, t)
+		}
+	}
+	// Stealing loop: own pool first, then the most-loaded peer, then a timed
+	// park with backoff. The park must be timed, not indefinite: a push only
+	// wakes the owning pool's waiter, so a PE blocked forever in PopWait
+	// would never notice a peer's queue growing with partition-local work —
+	// exactly the hot-partition pattern (fib's spine on one partition) that
+	// stealing exists to flatten.
+	park := stealParkMin
 	for {
 		t, ok := m.pools[i].TryPop()
+		if !ok && m.stealFor(i) {
+			t, ok = m.pools[i].TryPop()
+		}
 		if !ok {
-			// About to block: close the open execution-batch span so the
-			// trace shows the busy interval ending here, then wait.
+			if c := m.cfg.Counters; c != nil {
+				c.IdlePolls.Add(1)
+			}
 			o.PEIdle(i)
-			if t, ok = m.pools[i].PopWait(); !ok {
+			var closed bool
+			t, ok, closed = m.pools[i].PopWaitFor(park)
+			if closed {
 				return
 			}
+			if !ok {
+				if park < stealParkMax {
+					park *= 2
+				}
+				continue
+			}
 		}
+		park = stealParkMin
 		m.execute(i, t)
 	}
+}
+
+// Stealing pacing: an idle PE re-scans peers after parking on its own pool
+// for park, doubling from stealParkMin to stealParkMax while nothing turns
+// up so a genuinely quiescent machine does not spin.
+const (
+	stealParkMin      = 50 * time.Microsecond
+	stealParkMax      = 2 * time.Millisecond
+	defaultStealBatch = 32
+)
+
+// stealFor moves a batch of tasks from the most-loaded peer's pool into PE
+// pe's, reporting whether anything was stolen. Victims need at least two
+// queued tasks (taking an owner's only task just migrates latency), and a
+// steal takes at most half the victim's queue, capped at StealBatch.
+func (m *Machine) stealFor(pe int) bool {
+	victim, best := -1, 1
+	for j := range m.pools {
+		if j == pe {
+			continue
+		}
+		if n := m.pools[j].Len(); n > best {
+			victim, best = j, n
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	batch := best / 2
+	if batch > m.cfg.StealBatch {
+		batch = m.cfg.StealBatch
+	}
+	n := m.pools[victim].StealInto(m.pools[pe], batch)
+	if n == 0 {
+		return false
+	}
+	if c := m.cfg.Counters; c != nil {
+		c.Steals.Add(1)
+		c.StolenTasks.Add(int64(n))
+	}
+	return true
 }
 
 // Stop shuts the PE goroutines down after their pools drain of already

@@ -326,28 +326,54 @@ func TestCurrentTasksParallel(t *testing.T) {
 	m.Stop()
 }
 
-func TestSpawnOriginClassification(t *testing.T) {
-	// Regression: sourceless spawns used to be counted local regardless of
-	// where they landed. External spawns (root demands, collector marks)
-	// originate on the host PE and are remote when the destination partition
-	// differs; a sourceless Reduce stays a local self-continuation.
+func TestSpawnPlacementLocality(t *testing.T) {
+	// Placement is locality-aware: a spawn is remote exactly when its
+	// source vertex's partition differs from its destination's. Sourceless
+	// spawns (root demands, collector root marks, self-continuations) are
+	// injected by the co-resident host runtime and never cross partitions —
+	// the old convention attributed them to PE 0, charging every external
+	// spawn for another partition as a remote message (and, with a fabric,
+	// a pointless network transit per M_T root).
 	var c metrics.Counters
 	m := New(Config{PEs: 2, Mode: Deterministic, Seed: 1, PartOf: partMod(2), Counters: &c})
 	m.SetHandler(HandlerFunc(func(task.Task) {}))
 
-	// External demand landing on PE 1: remote from the host (PE 0).
+	// Sourceless spawns of every kind, on both partitions: all local.
 	m.Spawn(task.Task{Kind: task.Demand, Dst: 1, Req: graph.ReqVital})
-	// External mark landing on PE 1: remote from the host.
 	m.Spawn(task.Task{Kind: task.Mark, Dst: 3})
-	// External demand landing on PE 0: local to the host.
 	m.Spawn(task.Task{Kind: task.Demand, Dst: 2, Req: graph.ReqVital})
-	// Sourceless Reduce on PE 1: local self-continuation.
 	m.Spawn(task.Task{Kind: task.Reduce, Dst: 5})
+	// Sourced spawns: remote iff the partitions differ.
+	m.Spawn(task.Task{Kind: task.Reduce, Src: 1, Dst: 2}) // PE 1 → PE 0: remote
+	m.Spawn(task.Task{Kind: task.Mark, Src: 2, Dst: 5})   // PE 0 → PE 1: remote
+	m.Spawn(task.Task{Kind: task.Reduce, Src: 2, Dst: 4}) // PE 0 → PE 0: local
 	m.RunToQuiescence(0)
 
 	s := c.Snapshot()
-	if s.RemoteMessages != 2 || s.LocalMessages != 2 {
-		t.Fatalf("remote=%d local=%d, want 2/2", s.RemoteMessages, s.LocalMessages)
+	if s.RemoteMessages != 2 || s.LocalMessages != 5 {
+		t.Fatalf("remote=%d local=%d, want 2/5", s.RemoteMessages, s.LocalMessages)
+	}
+}
+
+func TestSpawnPlacementSourcelessBypassesFabric(t *testing.T) {
+	// With a fabric wired in, sourceless spawns must land directly in the
+	// destination pool — never in an outbox — since nothing actually
+	// travels between partitions for a host-injected task.
+	fab := fabric.New(fabric.Config{PEs: 2, Seed: 1, BatchSize: 100, FlushEvery: time.Hour})
+	m := New(Config{PEs: 2, Mode: Deterministic, Seed: 1, PartOf: partMod(2), Fabric: fab})
+	m.SetHandler(HandlerFunc(func(task.Task) {}))
+	for i := 1; i <= 6; i++ {
+		m.Spawn(task.Task{Kind: task.Demand, Dst: graph.VertexID(i), Req: graph.ReqVital})
+	}
+	if m.InTransit() != 0 {
+		t.Fatalf("sourceless spawns entered the fabric: in-transit=%d", m.InTransit())
+	}
+	if got := m.Pool(0).Len() + m.Pool(1).Len(); got != 6 {
+		t.Fatalf("pooled tasks = %d, want 6", got)
+	}
+	_, quiesced := m.RunToQuiescence(0)
+	if !quiesced {
+		t.Fatal("did not quiesce")
 	}
 }
 
@@ -481,5 +507,121 @@ func TestFabricExpungeInTransit(t *testing.T) {
 	_, quiesced := m.RunToQuiescence(0)
 	if !quiesced || m.Inflight() != 0 {
 		t.Fatalf("quiesced=%v inflight=%d", quiesced, m.Inflight())
+	}
+}
+
+func TestStealBalancesSkewedLoad(t *testing.T) {
+	// Every vertex maps to partition 0: without stealing, PEs 1..3 would
+	// never execute anything. With stealing on, the idle PEs drain PE 0's
+	// queue and the steal counters record the traffic.
+	var c metrics.Counters
+	m := New(Config{PEs: 4, Mode: Parallel, Steal: true,
+		PartOf: func(graph.VertexID) int { return 0 }, Counters: &c})
+	var count atomic.Int64
+	m.SetHandler(HandlerFunc(func(tk task.Task) {
+		count.Add(1)
+		// Simulated work so the queue stays non-empty long enough to steal.
+		time.Sleep(50 * time.Microsecond)
+	}))
+	m.Start()
+	for i := 1; i <= 400; i++ {
+		m.Spawn(task.Task{Kind: task.Reduce, Dst: graph.VertexID(i)})
+	}
+	m.WaitQuiescent()
+	m.Stop()
+
+	if got := count.Load(); got != 400 {
+		t.Fatalf("executed %d tasks, want 400", got)
+	}
+	s := c.Snapshot()
+	if s.Steals == 0 || s.StolenTasks == 0 {
+		t.Fatalf("no stealing recorded on a fully skewed load: %+v", s)
+	}
+	execs := m.ExecutionsByPE()
+	var total, others uint64
+	for pe, n := range execs {
+		total += n
+		if pe != 0 {
+			others += n
+		}
+	}
+	if total != 400 {
+		t.Fatalf("per-PE execution counts sum to %d, want 400 (%v)", total, execs)
+	}
+	if others == 0 {
+		t.Fatalf("stealing moved work but only PE 0 executed: %v", execs)
+	}
+}
+
+func TestStealNotesWatch(t *testing.T) {
+	// A steal is a pop as far as a pending deadlock verdict is concerned:
+	// moving a watched task between pools must touch the armed watch even
+	// though the task never executes.
+	m := New(Config{PEs: 2, Mode: Parallel, Steal: true, PartOf: partMod(2)})
+	m.SetHandler(HandlerFunc(func(task.Task) {}))
+	// Queue directly (machine not started: nothing pops).
+	m.Pool(0).Push(task.Task{Kind: task.Demand, Dst: 42, Req: graph.ReqVital})
+	m.Pool(0).Push(task.Task{Kind: task.Demand, Dst: 43, Req: graph.ReqVital})
+	w := NewWatch([]graph.VertexID{42})
+	m.SetWatch(w)
+	if w.Touched() {
+		t.Fatal("watch touched before any activity")
+	}
+	if n := m.Pool(0).StealInto(m.Pool(1), 2); n != 2 {
+		t.Fatalf("stole %d, want 2", n)
+	}
+	if !w.Touched() {
+		t.Fatal("steal of a watched task did not touch the watch")
+	}
+	// Marking tasks must not touch a fresh watch, stolen or not.
+	w2 := NewWatch([]graph.VertexID{99})
+	m.SetWatch(w2)
+	m.Pool(0).Push(task.Task{Kind: task.Mark, Dst: 99})
+	if n := m.Pool(0).StealInto(m.Pool(1), 1); n != 1 {
+		t.Fatal("mark steal failed")
+	}
+	if w2.Touched() {
+		t.Fatal("stolen mark task touched the watch (marking must not count)")
+	}
+}
+
+func TestStealUnderWatchStress(t *testing.T) {
+	// Stealing while a deadlock verdict is pending must never let a watched
+	// task slip through unnoticed: however the pops and steals interleave,
+	// by the time a watched task executes (or merely migrates), the watch is
+	// touched. A false confirmation requires an untouched watch, so
+	// Touched() here is the veto that keeps two-phase verdicts sound.
+	for round := 0; round < 20; round++ {
+		var c metrics.Counters
+		m := New(Config{PEs: 4, Mode: Parallel, Steal: true,
+			PartOf: func(graph.VertexID) int { return 0 }, Counters: &c})
+		executed := make(chan graph.VertexID, 1024)
+		m.SetHandler(HandlerFunc(func(tk task.Task) {
+			if tk.Kind.IsReduction() {
+				executed <- tk.Dst
+			}
+		}))
+		const watched = graph.VertexID(7)
+		w := NewWatch([]graph.VertexID{watched})
+		m.SetWatch(w)
+		m.Start()
+		for i := 1; i <= 200; i++ {
+			m.Spawn(task.Task{Kind: task.Reduce, Dst: graph.VertexID(i % 20)})
+		}
+		m.WaitQuiescent()
+		m.Stop()
+		close(executed)
+		sawWatched := false
+		for id := range executed {
+			if id == watched {
+				sawWatched = true
+			}
+		}
+		if sawWatched && !w.Touched() {
+			t.Fatalf("round %d: watched vertex executed but watch untouched", round)
+		}
+		if !w.Touched() {
+			t.Fatalf("round %d: watch never touched despite watched spawns", round)
+		}
 	}
 }

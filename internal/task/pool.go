@@ -2,7 +2,10 @@ package task
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dgr/internal/graph"
 )
@@ -29,11 +32,29 @@ type Pool struct {
 	// deadlock-verdict watch relies on this to close the window in which a
 	// popped-but-not-yet-published task is invisible to M_T's snapshot.
 	onPop func(Task)
+	// onTake, when set, observes every task consumed through TryPop — the
+	// parallel PE loop's pop path — while the pool lock is still held. The
+	// scheduler uses it to publish the task as the owning PE's in-execution
+	// task before the pool lock is released: without it, a task is invisible
+	// to both the queued-task snapshot and the current-task view between the
+	// pop and the executor's own publish — a window a taskpool snapshot
+	// (M_T's troot) could land in. It does not fire for StealInto's moves
+	// (the task stays in pool custody) nor for the deterministic selection
+	// primitives TryPopWhere/TryPopRandom, whose single-threaded callers
+	// execute the task synchronously with no invisibility window.
+	onTake func(Task)
+	// seq is a process-global creation number; StealInto acquires the two
+	// pool locks in seq order so concurrent steals in opposite directions
+	// cannot deadlock.
+	seq uint64
 }
+
+// poolSeq numbers pools at creation for StealInto's lock ordering.
+var poolSeq atomic.Uint64
 
 // NewPool returns an empty pool.
 func NewPool() *Pool {
-	p := &Pool{}
+	p := &Pool{seq: poolSeq.Add(1)}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
@@ -45,6 +66,15 @@ func NewPool() *Pool {
 func (p *Pool) SetOnPop(fn func(Task)) {
 	p.mu.Lock()
 	p.onPop = fn
+	p.mu.Unlock()
+}
+
+// SetOnTake installs (or, with nil, clears) the consumption observer. The
+// hook runs under the pool lock for every task popped for execution (but
+// not for tasks moved by StealInto) and must not call back into the pool.
+func (p *Pool) SetOnTake(fn func(Task)) {
+	p.mu.Lock()
+	p.onTake = fn
 	p.mu.Unlock()
 }
 
@@ -132,6 +162,9 @@ func (p *Pool) popLocked() (Task, bool) {
 			if p.onPop != nil {
 				p.onPop(t)
 			}
+			if p.onTake != nil {
+				p.onTake(t)
+			}
 			return t, true
 		}
 	}
@@ -200,6 +233,136 @@ func (p *Pool) PopWait() (Task, bool) {
 		p.waiters++
 		p.cond.Wait()
 		p.waiters--
+	}
+}
+
+// PopWaitFor blocks until a task is available, the pool is closed, or d
+// elapses. closed is true only after Close; a (zero, false, false) return
+// means the wait timed out. The stealing PE loop uses it as a timed park:
+// park briefly on the own pool, and on timeout go back to scanning peers —
+// a plain PopWait would strand an idle PE forever while a neighbor's queue
+// grows with partition-local work it could have stolen.
+func (p *Pool) PopWaitFor(d time.Duration) (t Task, ok bool, closed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t, ok := p.popLocked(); ok {
+		return t, true, false
+	}
+	if p.closed {
+		return Task{}, false, true
+	}
+	// sync.Cond has no timed wait; an AfterFunc flips a flag under the pool
+	// lock and broadcasts. The broadcast is rare (one per expired park) so
+	// the thundering herd the Signal policy avoids is not reintroduced.
+	expired := false
+	tm := time.AfterFunc(d, func() {
+		p.mu.Lock()
+		expired = true
+		p.mu.Unlock()
+		p.cond.Broadcast()
+	})
+	defer tm.Stop()
+	for {
+		if t, ok := p.popLocked(); ok {
+			return t, true, false
+		}
+		if p.closed {
+			return Task{}, false, true
+		}
+		if expired {
+			return Task{}, false, false
+		}
+		p.waiters++
+		p.cond.Wait()
+		p.waiters--
+	}
+}
+
+// StealInto moves up to max tasks from the tails of p's band rings into the
+// same bands of dst, highest band first, and returns how many moved. Both
+// pool locks are held for the transfer — acquired in pool-creation order so
+// opposite-direction steals cannot deadlock — which keeps every task in
+// pool custody throughout: an M_T taskpool snapshot (Each takes the same
+// locks) sees each task in exactly one of the two pools. p's onPop observer
+// fires for every stolen task, so an armed deadlock-verdict watch counts a
+// steal as reduction activity exactly like a pop; a task that leaves the
+// victim after its pool was snapshotted can therefore never silently escape
+// a pending verdict's re-animation veto.
+//
+// Tails, not heads: the victim keeps the oldest work in each band (what it
+// will pop next), and the stolen tasks retain their relative FIFO order at
+// the thief's tail.
+func (p *Pool) StealInto(dst *Pool, max int) int {
+	if p == dst || max <= 0 {
+		return 0
+	}
+	first, second := p, dst
+	if dst.seq < p.seq {
+		first, second = dst, p
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	defer first.mu.Unlock()
+	defer second.mu.Unlock()
+
+	moved := 0
+	for b := int(numBands) - 1; b >= 0 && moved < max; b-- {
+		r := &p.bands[b]
+		cnt := r.len()
+		if cnt > max-moved {
+			cnt = max - moved
+		}
+		if cnt == 0 {
+			continue
+		}
+		// Copy the tail segment in FIFO order, then truncate the victim band.
+		start := r.len() - cnt
+		for i := 0; i < cnt; i++ {
+			t := *r.at(start + i)
+			if p.onPop != nil {
+				p.onPop(t)
+			}
+			dst.bands[b].push(t)
+		}
+		r.n -= cnt
+		moved += cnt
+	}
+	if moved > 0 {
+		p.n -= moved
+		dst.n += moved
+		dst.wake(moved, dst.waiters)
+	}
+	return moved
+}
+
+// EachAcross calls fn for every task queued in any of the pools while
+// holding EVERY pool lock simultaneously, acquired in pool-creation (seq)
+// order — the same global order StealInto uses, so the two can never
+// deadlock. This is the atomic whole-machine snapshot M_T's troot needs
+// once work stealing is on: a pool-by-pool scan can be raced by a steal
+// that moves a batch from a not-yet-scanned pool into an already-scanned
+// one, hiding queued tasks from the snapshot entirely. Because StealInto
+// holds both pool locks for the transfer, a scan that holds all locks sees
+// every task in pool custody exactly once. fn must not call back into any
+// of the pools.
+func EachAcross(pools []*Pool, fn func(Task)) {
+	ordered := append([]*Pool(nil), pools...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+	for _, p := range ordered {
+		p.mu.Lock()
+	}
+	defer func() {
+		for i := len(ordered) - 1; i >= 0; i-- {
+			ordered[i].mu.Unlock()
+		}
+	}()
+	for _, p := range ordered {
+		for b := range p.bands {
+			r := &p.bands[b]
+			for i := 0; i < r.len(); i++ {
+				fn(*r.at(i))
+			}
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"dgr/internal/graph"
 )
@@ -475,5 +476,150 @@ func TestPoolPushBatchWakesWaiters(t *testing.T) {
 	close(got)
 	if len(got) != waiters {
 		t.Fatalf("only %d of %d waiters woke", len(got), waiters)
+	}
+}
+
+func TestPoolStealInto(t *testing.T) {
+	victim, thief := NewPool(), NewPool()
+	// Two bands on the victim: vital v1..v4, reserve r11..r13.
+	for i := 1; i <= 4; i++ {
+		victim.Push(Task{Kind: Demand, Dst: graph.VertexID(i), Req: graph.ReqVital})
+	}
+	for i := 11; i <= 13; i++ {
+		victim.Push(Task{Kind: Demand, Dst: graph.VertexID(i), Req: graph.ReqNone})
+	}
+	var popped []graph.VertexID
+	victim.SetOnPop(func(tk Task) { popped = append(popped, tk.Dst) })
+
+	// Steal 2: from the tail of the highest band, FIFO order retained.
+	if n := victim.StealInto(thief, 2); n != 2 {
+		t.Fatalf("stole %d, want 2", n)
+	}
+	if victim.Len() != 5 || thief.Len() != 2 {
+		t.Fatalf("lens after steal: victim=%d thief=%d, want 5/2", victim.Len(), thief.Len())
+	}
+	// Steal 3 more: the remaining vital tasks, then the reserve tail.
+	if n := victim.StealInto(thief, 3); n != 3 {
+		t.Fatalf("second steal moved %d, want 3", n)
+	}
+	// Thief got the vital tail {3,4}, then vital {1,2}, then reserve {13};
+	// within each band the pops come out FIFO in arrival order.
+	wantThief := []graph.VertexID{3, 4, 1, 2, 13}
+	for i, want := range wantThief {
+		tk, ok := thief.TryPop()
+		if !ok || tk.Dst != want {
+			t.Fatalf("thief pop %d = %v/%v, want dst %d", i, tk.Dst, ok, want)
+		}
+	}
+	// Victim kept the oldest reserve work.
+	wantVictim := []graph.VertexID{11, 12}
+	for i, want := range wantVictim {
+		tk, ok := victim.TryPop()
+		if !ok || tk.Dst != want {
+			t.Fatalf("victim pop %d = %v/%v, want dst %d", i, tk.Dst, ok, want)
+		}
+	}
+	// The victim's onPop observer saw every stolen task (the deadlock-verdict
+	// watch's veto path) and then the 2 regular pops.
+	if len(popped) != 7 {
+		t.Fatalf("onPop fired %d times, want 7 (5 stolen + 2 popped): %v", len(popped), popped)
+	}
+	wantStolen := []graph.VertexID{3, 4, 1, 2, 13}
+	for i, want := range wantStolen {
+		if popped[i] != want {
+			t.Fatalf("onPop order %v, stolen prefix should be %v", popped, wantStolen)
+		}
+	}
+}
+
+func TestPoolStealIntoLimitsAndSelf(t *testing.T) {
+	a, b := NewPool(), NewPool()
+	a.Push(Task{Kind: Reduce, Dst: 1})
+	if n := a.StealInto(a, 5); n != 0 {
+		t.Fatalf("self-steal moved %d", n)
+	}
+	if n := a.StealInto(b, 0); n != 0 {
+		t.Fatalf("zero-max steal moved %d", n)
+	}
+	if n := a.StealInto(b, 5); n != 1 {
+		t.Fatalf("steal moved %d, want 1", n)
+	}
+	if n := a.StealInto(b, 5); n != 0 {
+		t.Fatalf("steal from empty moved %d", n)
+	}
+}
+
+func TestPoolStealIntoConcurrentOppositeDirections(t *testing.T) {
+	// Lock ordering: steals in both directions at once must not deadlock
+	// and must conserve tasks.
+	a, b := NewPool(), NewPool()
+	for i := 0; i < 200; i++ {
+		a.Push(Task{Kind: Reduce, Dst: graph.VertexID(i)})
+		b.Push(Task{Kind: Reduce, Dst: graph.VertexID(1000 + i)})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if g%2 == 0 {
+					a.StealInto(b, 3)
+				} else {
+					b.StealInto(a, 3)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if total := a.Len() + b.Len(); total != 400 {
+		t.Fatalf("tasks not conserved: %d, want 400", total)
+	}
+}
+
+func TestPoolPopWaitFor(t *testing.T) {
+	p := NewPool()
+	// Timeout on an empty pool.
+	if _, ok, closed := p.PopWaitFor(time.Millisecond); ok || closed {
+		t.Fatalf("empty pool: ok=%v closed=%v, want timeout", ok, closed)
+	}
+	// Immediate pop when a task is queued.
+	p.Push(Task{Kind: Reduce, Dst: 7})
+	if tk, ok, _ := p.PopWaitFor(time.Millisecond); !ok || tk.Dst != 7 {
+		t.Fatalf("queued pool: ok=%v dst=%v", ok, tk.Dst)
+	}
+	// A push during the wait delivers before the deadline.
+	done := make(chan Task, 1)
+	go func() {
+		tk, ok, _ := p.PopWaitFor(time.Minute)
+		if ok {
+			done <- tk
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	p.Push(Task{Kind: Reduce, Dst: 8})
+	select {
+	case tk := <-done:
+		if tk.Dst != 8 {
+			t.Fatalf("delivered dst %d, want 8", tk.Dst)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("push did not wake the timed waiter")
+	}
+	// Close wakes the waiter with closed=true.
+	res := make(chan bool, 1)
+	go func() {
+		_, _, closed := p.PopWaitFor(time.Minute)
+		res <- closed
+	}()
+	time.Sleep(2 * time.Millisecond)
+	p.Close()
+	select {
+	case closed := <-res:
+		if !closed {
+			t.Fatal("Close did not report closed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the timed waiter")
 	}
 }
