@@ -12,6 +12,7 @@
 //	dgr-bench -json -quick    # same, one iteration per case (CI smoke)
 //	dgr-bench -watch          # live per-PE dashboard (parallel machine + obs)
 //	dgr-bench -watch -name churn -pes 8 -interval 500ms -for 30s
+//	dgr-bench -obscheck       # gate obs/tracing overhead at -obslimit (CI guard)
 //
 // -json replaces the experiment tables with the internal/bench hot-path
 // suite (end-to-end reduction, PE scaling sweep, GC cycle) and emits a
@@ -46,6 +47,9 @@ func run() error {
 		list     = flag.Bool("list", false, "list experiment IDs")
 		jsonR    = flag.Bool("json", false, "run the hot-path benchmark suite, emit JSON report")
 		cpus     = flag.String("cpu", "", "comma-separated GOMAXPROCS values to sweep the -json suite over (e.g. 1,2,4)")
+		obscheck = flag.Bool("obscheck", false, "A/B-gate the obs + tracing overhead against the uninstrumented machine")
+		obslimit = flag.Float64("obslimit", 1.05, "maximum instrumented/base ns-per-op ratio for -obscheck")
+		obsreps  = flag.Int("obsreps", 3, "A/B repetitions per -obscheck pair (minimum ratio wins)")
 		watch    = flag.Bool("watch", false, "live terminal dashboard: loop a corpus program on a parallel machine")
 		wName    = flag.String("name", "fib", "corpus program for -watch")
 		wPEs     = flag.Int("pes", 4, "machine width for -watch")
@@ -56,6 +60,10 @@ func run() error {
 
 	if *watch {
 		return watchRun(*wName, *wPEs, *interval, *wFor)
+	}
+
+	if *obscheck {
+		return obsCheck(*obsreps, *obslimit)
 	}
 
 	if *jsonR {
@@ -114,6 +122,35 @@ func run() error {
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}
+
+// obsCheck is the CI overhead guard: interleaved A/B pairs of the
+// uninstrumented machine against obs-on and tracing-on (rate 1.0), minimum
+// ratio over reps repetitions. Exits nonzero when any instrumented
+// configuration costs more than limit× its uninstrumented partner.
+func obsCheck(reps int, limit float64) error {
+	pairs, err := bench.ObsOverhead(reps)
+	if err != nil {
+		return err
+	}
+	over := 0
+	for _, p := range pairs {
+		verdict := "info only"
+		if p.Gated {
+			verdict = "ok"
+			if p.Ratio > limit {
+				verdict = "OVER LIMIT"
+				over++
+			}
+		}
+		fmt.Printf("%-40s base %8.3fms  instrumented %8.3fms  ratio %.3f (best of %d)  %s\n",
+			p.Name, float64(p.BaseNs)/1e6, float64(p.WithNs)/1e6, p.Ratio, p.Samples, verdict)
+	}
+	if over > 0 {
+		return fmt.Errorf("%d configuration(s) exceed the %.0f%% overhead budget",
+			over, (limit-1)*100)
 	}
 	return nil
 }

@@ -101,6 +101,22 @@ func watchRun(name string, pes int, interval, duration time.Duration) error {
 	return nil
 }
 
+// balanceBar renders one PE's share of total executions as a fixed-width
+// gauge, e.g. "[#####     ] 25.0%". An even split across N PEs fills 1/N.
+func balanceBar(execs []uint64, pe int, total uint64) string {
+	const width = 10
+	if pe >= len(execs) || total == 0 {
+		return fmt.Sprintf("[%s]   - ", strings.Repeat(" ", width))
+	}
+	frac := float64(execs[pe]) / float64(total)
+	filled := int(frac*width + 0.5)
+	if filled > width {
+		filled = width
+	}
+	return fmt.Sprintf("[%s%s] %4.1f%%",
+		strings.Repeat("#", filled), strings.Repeat(" ", width-filled), 100*frac)
+}
+
 func loadErrString(v *atomic.Value) string {
 	if s, ok := v.Load().(string); ok {
 		return s
@@ -121,14 +137,24 @@ func renderWatch(w *os.File, m *dgr.Machine, name string, pes int,
 		fmt.Fprintf(&b, "   %d flakes", flakes)
 	}
 	s := m.Stats()
-	fmt.Fprintf(&b, "\nheap %d vertices (%d free)   executed %d   gc cycles %d   reclaimed %d\n\n",
+	fmt.Fprintf(&b, "\nheap %d vertices (%d free)   executed %d   gc cycles %d   reclaimed %d\n",
 		m.TotalVertices(), m.FreeVertices(), s.TasksExecuted, s.Cycles, s.Reclaimed)
+	fmt.Fprintf(&b, "steals %d (%d tasks moved)   idle polls %d\n\n",
+		s.Steals, s.StolenTasks, s.IdlePolls)
+
+	// Exec balance: each PE's share of all executions, as a bar — with
+	// stealing on, heavily skewed bars mean the thieves never got traction.
+	execsByPE := m.ExecsPerPE()
+	var totalExecs uint64
+	for _, n := range execsByPE {
+		totalExecs += n
+	}
 
 	fmt.Fprintf(&b, "PE    util  u-p50  u-p95")
 	for _, bn := range obs.BandNames {
 		fmt.Fprintf(&b, "  %8s", bn)
 	}
-	fmt.Fprintf(&b, "  %8s  %10s\n", "free", "execs")
+	fmt.Fprintf(&b, "  %8s  %10s  %s\n", "free", "execs", "balance")
 	if snap := m.ObsSeries(); snap != nil {
 		for pe := range snap.Summary {
 			sum := snap.Summary[pe]
@@ -140,7 +166,8 @@ func renderWatch(w *os.File, m *dgr.Machine, name string, pes int,
 			for _, d := range last.Bands {
 				fmt.Fprintf(&b, "  %8d", d)
 			}
-			fmt.Fprintf(&b, "  %8d  %10d\n", last.Free, last.Execs)
+			fmt.Fprintf(&b, "  %8d  %10d  %s\n", last.Free, last.Execs,
+				balanceBar(execsByPE, pe, totalExecs))
 		}
 	}
 	if errMsg != "" {

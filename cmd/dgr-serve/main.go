@@ -58,6 +58,7 @@ func run() error {
 		check    = flag.Bool("check", true, "run pooled machines with the invariant checker")
 		engine   = flag.String("engine", dgr.EngineInterp, "reduction engine for pooled machines: interp or compiled")
 		obsOn    = flag.Bool("obs", false, "enable the observability layer on pooled machines")
+		traceR   = flag.Float64("trace-rate", 0, "lineage-trace head-sampling rate (0 disables; 1.0 traces every request)")
 		grace    = flag.Duration("grace", 5*time.Second, "drain timeout on shutdown")
 
 		load   = flag.Bool("load", false, "run as load-test client against -url instead of serving")
@@ -89,7 +90,7 @@ func run() error {
 		Workers: *workers, PEs: *pes, Parallel: *parallel, Seed: *seed,
 		Capacity: *capacity, MaxSteps: *maxSteps, Timeout: *timeout,
 		Check: *check, Obs: *obsOn, Engine: *engine,
-		QueueDepth: *queue, CacheEntries: *cacheN,
+		QueueDepth: *queue, CacheEntries: *cacheN, TraceRate: *traceR,
 		DefaultLimits: serve.TenantLimits{MaxInflight: *inflight, VertexQuota: *quota},
 	})
 	defer s.Close()

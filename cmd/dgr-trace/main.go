@@ -4,22 +4,38 @@
 // figures. With -jsonl it instead emits the machine's event trace
 // (including the fabric message lifecycle) as JSON Lines.
 //
+// With -analyze it switches to lineage mode: read an assembled trace
+// document (a /debug/traces.json URL, a file, or "-" for stdin), rebuild
+// each trace's spawn DAG from its raw spans, and print the critical path
+// with per-category blame (exec / queue / steal / fabric / gc / serve).
+// With -lineage it runs the given program under full head sampling and
+// analyzes the resulting traces directly.
+//
 // Usage:
 //
 //	dgr-trace -e 'let x = x + 1 in x' > graph.dot
 //	dgr-trace -scenario fig32 > fig32.dot
 //	dgr-trace -e '1+2' -phase before > before.dot
 //	dgr-trace -e 'fib...' -fabric -drop 0.1 -jsonl > events.jsonl
+//	dgr-trace -analyze http://127.0.0.1:8091/debug/traces.json
+//	dgr-trace -e 'fib...' -pes 4 -lineage
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"dgr"
 	"dgr/internal/analysis"
 	"dgr/internal/graph"
+	"dgr/internal/obs"
 	"dgr/internal/trace"
 	"dgr/internal/workload"
 )
@@ -44,10 +60,25 @@ func run() error {
 		batch    = flag.Int("batch", 0, "fabric batch size (0 = default)")
 		drop     = flag.Float64("drop", 0, "fabric per-transmission drop rate")
 		latency  = flag.Duration("latency", 0, "fabric link latency")
+		analyze  = flag.String("analyze", "", "analyze an assembled trace document: URL, file path, or - for stdin")
+		lineage  = flag.Bool("lineage", false, "run -e under full lineage sampling and analyze its traces")
+		asJSON   = flag.Bool("json", false, "with -analyze/-lineage: emit the recomputed TraceDoc as JSON")
+		parallel = flag.Bool("parallel", false, "with -lineage: run the machine in parallel mode")
 	)
 	flag.Parse()
 
 	switch {
+	case *analyze != "":
+		return analyzeDoc(*analyze, *asJSON)
+	case *lineage:
+		if *expr == "" {
+			return fmt.Errorf("-lineage requires -e")
+		}
+		return runLineage(*expr, dgr.Options{
+			PEs: *pes, Seed: *seed, SpeculativeIf: *spec, MTEvery: 1, Capacity: 1 << 14,
+			Parallel: *parallel, Fabric: *fab, BatchSize: *batch, DropRate: *drop,
+			LinkLatency: *latency, TraceRate: 1,
+		}, *asJSON)
 	case *scenario != "":
 		return dumpScenario(*scenario)
 	case *expr != "":
@@ -128,4 +159,114 @@ func dumpJSONL(src string, opts dgr.Options) error {
 		}
 	}
 	return m.WriteTraceJSONL(os.Stdout)
+}
+
+// analyzeDoc loads an obs.TraceDoc (URL, file, or stdin), reassembles every
+// trace from its raw spans, and prints the critical-path analysis.
+func analyzeDoc(src string, asJSON bool) error {
+	var r io.ReadCloser
+	switch {
+	case src == "-":
+		r = os.Stdin
+	case strings.HasPrefix(src, "http://"), strings.HasPrefix(src, "https://"):
+		resp, err := http.Get(src)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		r = resp.Body
+	default:
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		r = f
+	}
+	defer r.Close()
+	var doc obs.TraceDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("decoding trace document: %w", err)
+	}
+	// Reassemble from the raw spans rather than trusting the document's
+	// precomputed analysis: the tool then works on any span dump.
+	var spans []obs.TraceSpan
+	for _, tr := range doc.Traces {
+		spans = append(spans, tr.Spans...)
+	}
+	spans = append(spans, doc.Globals...)
+	return report(spans, doc.Dropped, asJSON)
+}
+
+// runLineage evaluates src under full head sampling and analyzes the
+// machine's own trace sink.
+func runLineage(src string, opts dgr.Options, asJSON bool) error {
+	m := dgr.New(opts)
+	defer m.Close()
+	v, err := m.Eval(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evaluation: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "result: %s\n", v)
+	}
+	spans, dropped := m.TraceSink().Spans()
+	return report(spans, dropped, asJSON)
+}
+
+// report assembles spans into traces and prints each critical path with
+// per-category blame, or re-emits the recomputed document as JSON.
+func report(spans []obs.TraceSpan, dropped uint64, asJSON bool) error {
+	traces, globals := obs.AssembleTraces(spans)
+	if asJSON {
+		doc := obs.TraceDoc{Globals: globals, Dropped: dropped}
+		for _, tr := range traces {
+			crit := obs.CriticalPath(tr, globals)
+			doc.Traces = append(doc.Traces, obs.TraceReport{
+				ID: tr.ID, Start: tr.Start, End: tr.End, TotalNs: crit.TotalNs,
+				Orphans: tr.Orphans, Spans: tr.Spans, Crit: crit,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	if len(traces) == 0 {
+		fmt.Println("no traces")
+		return nil
+	}
+	for _, tr := range traces {
+		crit := obs.CriticalPath(tr, globals)
+		fmt.Printf("trace %x: total %s, %d spans", tr.ID, time.Duration(crit.TotalNs), len(tr.Spans))
+		if tr.Orphans > 0 {
+			fmt.Printf(" (%d orphaned)", tr.Orphans)
+		}
+		fmt.Println()
+		type kv struct {
+			cat string
+			ns  int64
+		}
+		var blame []kv
+		for cat, ns := range crit.Blame {
+			blame = append(blame, kv{cat, ns})
+		}
+		sort.Slice(blame, func(i, j int) bool { return blame[i].ns > blame[j].ns })
+		for _, b := range blame {
+			pct := 0.0
+			if crit.TotalNs > 0 {
+				pct = 100 * float64(b.ns) / float64(crit.TotalNs)
+			}
+			fmt.Printf("  %-8s %12s  %5.1f%%\n", b.cat, time.Duration(b.ns), pct)
+		}
+		fmt.Printf("  critical path (%d segments):\n", len(crit.Path))
+		for _, sg := range crit.Path {
+			fmt.Printf("    %-8s %-12s pe=%-3d %12s\n",
+				sg.Cat, sg.Name, sg.PE, time.Duration(sg.End-sg.Start))
+		}
+	}
+	if dropped > 0 {
+		fmt.Printf("(%d spans evicted from the ring before assembly)\n", dropped)
+	}
+	return nil
 }

@@ -164,9 +164,28 @@ type Options struct {
 	ObsSampleEvery time.Duration
 	// ObsFlightDir, when non-empty (implies Obs), auto-dumps the flight
 	// recorder as JSONL into this directory the first time an Eval returns
-	// ErrDeadlock or the invariant checker reports a violation, leaving a
-	// diagnosable artifact for intermittent failures.
+	// ErrDeadlock, ErrStuck, or the invariant checker reports a violation,
+	// leaving a diagnosable artifact for intermittent failures.
 	ObsFlightDir string
+
+	// TraceRate enables causal task-lineage tracing: each Eval is
+	// head-sampled at this rate (1.0 = every request), and a sampled
+	// request's full causal history — spawn DAG, steals, fabric hops,
+	// collector-phase overlap — is recorded as wall-clock spans for
+	// assembly and critical-path analysis (WriteTracesJSON,
+	// `dgr-trace analyze`). 0 with a nil TraceSink disables tracing; the
+	// instrumented hot paths then pay a single pointer test and schedules
+	// stay bit-identical. Independent of Obs.
+	TraceRate float64
+	// TraceSink, when non-nil, shares an externally owned lineage sink
+	// instead of building a private one — the serving layer pools machines
+	// behind one sink so a request's spans land in one ring regardless of
+	// which machine served it. Implies tracing; sampling decisions are
+	// then the sink owner's (originate contexts via EvalNodeTraced).
+	TraceSink *obs.TraceSink
+	// TraceSpanCapacity bounds the private trace sink's span ring
+	// (default 1<<16); ignored when TraceSink is supplied.
+	TraceSpanCapacity int
 
 	// Check enables the always-on invariant checker: marking invariants
 	// (Figure 4-2), inflight conservation, band consistency, and mt-cnt
@@ -241,6 +260,7 @@ type Machine struct {
 	checker   *check.Checker
 	recorder  *check.Recorder
 	obs       *obs.Obs
+	lineage   *obs.TraceSink
 	// flightOnce gates the flight-recorder auto-dump: the first failure
 	// (deadlock or invariant violation) writes the artifact; later ones
 	// would only overwrite the fresh evidence. flightPath publishes the
@@ -300,6 +320,14 @@ func New(opts Options) *Machine {
 			},
 		})
 	}
+	// The lineage sink is shared (serving layer) or private; either way it
+	// is threaded through every causal edge: scheduler spawns/execs/steals,
+	// fabric hops, collector phases, and the reduction engine's
+	// vertex-carried propagation.
+	lineage := opts.TraceSink
+	if lineage == nil && opts.TraceRate > 0 {
+		lineage = obs.NewTraceSink(opts.TraceSpanCapacity, opts.TraceRate)
+	}
 	var fab *fabric.Fabric
 	if opts.Fabric {
 		fab = fabric.New(fabric.Config{
@@ -316,6 +344,7 @@ func New(opts Options) *Machine {
 			Counters:    counters,
 			Tracer:      tracer,
 			Obs:         ob,
+			Trace:       lineage,
 		})
 	}
 	// The checker and recorder hook into the scheduler, but both need the
@@ -335,6 +364,7 @@ func New(opts Options) *Machine {
 		Counters:    counters,
 		Fabric:      fab,
 		Obs:         ob,
+		Trace:       lineage,
 	}
 	if opts.RecordSchedule {
 		recorder = check.NewRecorder()
@@ -366,12 +396,14 @@ func New(opts Options) *Machine {
 		SpeculativeIf: opts.SpeculativeIf,
 		Prog:          prog,
 		Counters:      counters,
+		Tracing:       lineage != nil,
 	})
 	mach.SetHandler(core.NewDispatcher(marker, engine))
 	collCfg := core.CollectorConfig{
 		MTEvery: opts.MTEvery,
 		Pace:    opts.Pace,
 		Obs:     ob,
+		Trace:   lineage,
 		OnDeadlock: func(ids []graph.VertexID) {
 			// Footnote 5: resolve pending is-bottom probes that are
 			// themselves deadlocked, and un-record them (they now have a
@@ -399,10 +431,15 @@ func New(opts Options) *Machine {
 		mut: mut, engine: engine, prog: prog, collector: collector,
 		counters: counters,
 		fab:      fab, tracer: tracer, checker: checker, recorder: recorder,
-		obs: ob,
+		obs: ob, lineage: lineage,
 	}
-	if checker != nil && ob != nil {
-		checker.OnViolation = func() { m.dumpFlight("violation") }
+	if checker != nil && (ob != nil || lineage != nil) {
+		checker.OnViolation = func() {
+			// A violation flips the sink to always-sample so every request
+			// after the failure carries a full trace.
+			m.lineage.Force()
+			m.dumpFlight("violation")
+		}
 	}
 	if opts.Parallel {
 		mach.Start()
@@ -415,7 +452,10 @@ func New(opts Options) *Machine {
 
 // dumpFlight writes the flight recorder into Options.ObsFlightDir (once per
 // machine, first failure wins) and returns the artifact path, or "" when
-// nothing was written (obs off, no dir configured, or already dumped).
+// nothing was written (obs off, no dir configured, or already dumped). The
+// dump's final line records the deadlock detector's verdict state —
+// confirmed (two-phase) versus still-pending candidates — so a stuck or
+// deadlocked run's artifact says how far detection had progressed.
 func (m *Machine) dumpFlight(reason string) string {
 	if m.obs == nil || m.opts.ObsFlightDir == "" {
 		return ""
@@ -430,6 +470,19 @@ func (m *Machine) dumpFlight(reason string) string {
 		}
 		defer f.Close()
 		if m.obs.WriteFlightJSONL(f) == nil {
+			verdicts := struct {
+				Ev        string   `json:"ev"`
+				Reason    string   `json:"reason"`
+				Epoch     uint64   `json:"verdict_epoch"`
+				Confirmed []NodeID `json:"confirmed,omitempty"`
+				Pending   []NodeID `json:"pending,omitempty"`
+			}{
+				Ev: "verdicts", Reason: reason,
+				Epoch:     m.collector.VerdictEpoch(),
+				Confirmed: m.collector.Deadlocked(),
+				Pending:   m.collector.PendingDeadlocked(),
+			}
+			_ = json.NewEncoder(f).Encode(verdicts)
 			path = p
 			m.flightPath.Store(p)
 		}
@@ -515,17 +568,54 @@ func (m *Machine) Eval(src string) (Value, error) {
 }
 
 // EvalNode evaluates an existing graph node to WHNF, running the collector
-// alongside the reduction.
+// alongside the reduction. With lineage tracing on, the evaluation is
+// head-sampled at Options.TraceRate and, when chosen, originates its own
+// trace.
 func (m *Machine) EvalNode(root NodeID) (Value, error) {
+	var tr uint64
+	if m.lineage.Sample() {
+		tr = m.lineage.NewTrace()
+	}
+	return m.EvalNodeTraced(root, tr, 0)
+}
+
+// EvalNodeTraced evaluates root to WHNF under an externally originated
+// trace context: the evaluation envelope is recorded as an "eval" span with
+// the given parent (the serving layer passes its request span), and every
+// task the reduction spawns inherits the trace through the graph. A zero
+// trace runs untraced; the sampling decision belongs to the caller.
+func (m *Machine) EvalNodeTraced(root NodeID, tr uint64, parent uint32) (Value, error) {
 	if m.closed.Load() {
 		return Value{}, ErrClosed
 	}
 	m.collector.SetRoot(root)
-	ch := m.engine.Demand(root)
-	if m.opts.Parallel {
-		return m.waitParallel(ch)
+	if m.lineage == nil {
+		tr = 0
 	}
-	return m.pumpDeterministic(root, ch)
+	var span uint32
+	var start int64
+	if tr != 0 {
+		span = m.lineage.NewSpan()
+		start = time.Now().UnixNano()
+	}
+	ch := m.engine.DemandTraced(root, tr, span)
+	var v Value
+	var err error
+	if m.opts.Parallel {
+		v, err = m.waitParallel(ch)
+	} else {
+		v, err = m.pumpDeterministic(root, ch)
+	}
+	if span != 0 {
+		m.lineage.Record(obs.TraceSpan{Trace: tr, Span: span, Parent: parent,
+			Name: "eval", Cat: obs.CatEval, PE: obs.TIDEval,
+			Start: start, End: time.Now().UnixNano()})
+	}
+	if err != nil && (errors.Is(err, ErrStuck) || errors.Is(err, ErrDeadlock)) {
+		// Failures flip the sink sticky so everything after is traced.
+		m.lineage.Force()
+	}
+	return v, err
 }
 
 func (m *Machine) pumpDeterministic(root NodeID, ch <-chan Value) (Value, error) {
@@ -577,6 +667,7 @@ func (m *Machine) pumpDeterministic(root NodeID, ch <-chan Value) (Value, error)
 				return Value{}, fmt.Errorf("%w: %d vertices", ErrDeadlock, n)
 			}
 			if quietCycles >= maxQuietCycles(m.opts.MTEvery) {
+				m.dumpFlight("stuck")
 				return Value{}, ErrStuck
 			}
 		} else {
@@ -651,6 +742,7 @@ func (m *Machine) waitParallel(ch <-chan Value) (Value, error) {
 				if quietBase < 0 || red != baseRed {
 					quietBase, baseRed = cyc, red
 				} else if cyc-quietBase > int64(maxQuietCycles(m.opts.MTEvery)) {
+					m.dumpFlight("stuck")
 					return Value{}, ErrStuck
 				}
 			} else {
@@ -662,9 +754,36 @@ func (m *Machine) waitParallel(ch <-chan Value) (Value, error) {
 	}
 }
 
+// EvalTraced compiles and evaluates a program under an externally
+// originated trace context (see EvalNodeTraced); the serving layer calls
+// it with each sampled request's trace and request span.
+func (m *Machine) EvalTraced(src string, tr uint64, parent uint32) (Value, error) {
+	if m.opts.Parallel {
+		m.collector.Pause()
+	}
+	root, err := m.Compile(src)
+	if err == nil {
+		m.collector.SetRoot(root)
+	}
+	if m.opts.Parallel {
+		m.collector.Resume()
+	}
+	if err != nil {
+		return Value{}, err
+	}
+	return m.EvalNodeTraced(root, tr, parent)
+}
+
 // EvalList evaluates a program expected to yield a (finite) list, forcing
 // every element.
 func (m *Machine) EvalList(src string) ([]Value, error) {
+	return m.EvalListTraced(src, 0, 0)
+}
+
+// EvalListTraced is EvalList under an externally originated trace context:
+// the spine and every element evaluation record sibling "eval" spans under
+// the same parent.
+func (m *Machine) EvalListTraced(src string, tr uint64, parent uint32) ([]Value, error) {
 	root, err := m.Compile(src)
 	if err != nil {
 		return nil, err
@@ -672,7 +791,7 @@ func (m *Machine) EvalList(src string) ([]Value, error) {
 	var out []Value
 	cur := root
 	for {
-		v, err := m.EvalNode(cur)
+		v, err := m.EvalNodeTraced(cur, tr, parent)
 		if err != nil {
 			return out, err
 		}
@@ -684,7 +803,7 @@ func (m *Machine) EvalList(src string) ([]Value, error) {
 			if !ok {
 				return out, fmt.Errorf("dgr: malformed cons at v%d", v.ID)
 			}
-			hv, err := m.EvalNode(h)
+			hv, err := m.EvalNodeTraced(h, tr, parent)
 			if err != nil {
 				return out, err
 			}
@@ -745,6 +864,21 @@ func (m *Machine) WriteTraceJSONL(w io.Writer) error {
 	return m.tracer.WriteJSONL(w)
 }
 
+// TraceSink returns the machine's lineage sink (shared or private), or nil
+// when lineage tracing is off.
+func (m *Machine) TraceSink() *obs.TraceSink { return m.lineage }
+
+// WriteTracesJSON writes the retained lineage traces — each assembled back
+// into its spawn DAG with critical-path analysis and per-category blame —
+// as an obs.TraceDoc. It errors unless lineage tracing is enabled (set
+// Options.TraceRate or Options.TraceSink).
+func (m *Machine) WriteTracesJSON(w io.Writer) error {
+	if m.lineage == nil {
+		return errors.New("dgr: lineage tracing disabled (set Options.TraceRate or Options.TraceSink)")
+	}
+	return obs.WriteTracesJSON(w, m.lineage)
+}
+
 var errObsDisabled = errors.New("dgr: observability disabled (set Options.Obs)")
 
 // WriteSpansJSONL writes the retained observation spans (collector phases,
@@ -793,10 +927,14 @@ func (m *Machine) promData() obs.PromData {
 		Utils:       make([]float64, m.opts.PEs),
 	}
 	snap := m.obs.Series()
+	execs := m.mach.ExecutionsByPE()
 	for pe := 0; pe < m.opts.PEs; pe++ {
 		d.FreePerPart[pe] = m.store.FreeCountOf(pe)
 		d.PoolBands[pe] = m.mach.Pool(pe).BandLens()
-		d.ExecsPerPE[pe] = m.obs.Execs(pe)
+		// The scheduler's own per-PE counters, not the obs batches: they
+		// count every execution (including those before obs batching
+		// flushed), which is the balance view stealing is judged by.
+		d.ExecsPerPE[pe] = int64(execs[pe])
 		if snap != nil && len(snap.PE[pe]) > 0 {
 			d.Utils[pe] = snap.PE[pe][len(snap.PE[pe])-1].Util
 		}
@@ -835,6 +973,9 @@ func (m *Machine) WriteSnapshotJSON(w io.Writer) error {
 		Cycles      int64             `json:"cycles"`
 		Executions  uint64            `json:"executions"`
 		Deadlocked  []NodeID          `json:"deadlocked,omitempty"`
+		Steals      int64             `json:"steals"`
+		StolenTasks int64             `json:"stolen_tasks"`
+		IdlePolls   int64             `json:"idle_polls"`
 		Pools       [][obs.Bands]int  `json:"pools"`
 		ExecsPerPE  []int64           `json:"execs_per_pe"`
 		Utils       []float64         `json:"utils"`
@@ -847,7 +988,10 @@ func (m *Machine) WriteSnapshotJSON(w io.Writer) error {
 		Heap: d.Heap, Free: d.Free, FreePerPart: d.FreePerPart,
 		Inflight: d.Inflight, InTransit: d.InTransit,
 		Cycles: m.collector.Cycles(), Executions: m.mach.Executions(),
-		Deadlocked: dead, Pools: d.PoolBands, ExecsPerPE: d.ExecsPerPE,
+		Deadlocked: dead,
+		Steals:     d.Stats.Steals, StolenTasks: d.Stats.StolenTasks,
+		IdlePolls: d.Stats.IdlePolls,
+		Pools:     d.PoolBands, ExecsPerPE: d.ExecsPerPE,
 		Utils: d.Utils, Stats: d.Stats, Series: m.obs.Series(),
 		Violations: m.CheckViolations(),
 	}

@@ -51,6 +51,10 @@ type CollectorConfig struct {
 	// sweep), cycle events for the flight recorder, and an end-of-cycle
 	// time-series sample. All calls are nil-safe no-ops when unset.
 	Obs *obs.Obs
+	// Trace, when non-nil, receives each collector phase as a wall-clock
+	// global interval so trace analysis can attribute the part of a traced
+	// task's execution that overlapped collector work (gc-overlap blame).
+	Trace *obs.TraceSink
 }
 
 // CycleRecorder observes cycle-level scheduling decisions. The M_T root set
@@ -291,6 +295,24 @@ func (c *Collector) mtDue(n int64) bool {
 	return c.cfg.MTEvery > 0 && n%int64(c.cfg.MTEvery) == 0
 }
 
+// traceWallStart captures the wall clock at a phase start when lineage
+// tracing is on (0 otherwise); pairs with tracePhase.
+func (c *Collector) traceWallStart() int64 {
+	if c.cfg.Trace == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// tracePhase records a finished collector phase as a global lineage
+// interval, so trace analysis can blame the slice of a traced execution
+// that overlapped collector work.
+func (c *Collector) tracePhase(name string, wallStart int64) {
+	if wallStart != 0 {
+		c.cfg.Trace.Global(name, obs.TIDCollector, wallStart, time.Now().UnixNano())
+	}
+}
+
 // RunCycle performs one full cycle. In deterministic mode it pumps the
 // scheduler itself (interleaving marking with whatever reduction tasks are
 // queued — this is the concurrent-marking execution); in parallel mode it
@@ -319,6 +341,7 @@ func (c *Collector) RunCycle() CycleReport {
 		// order below is kept for deterministic mode, whose recorded
 		// schedules and golden digests assume it.
 		phaseStart := o.Now()
+		wallStart := c.traceWallStart()
 		// Activate the cycle before snapshotting the pools, so reduction
 		// activity concurrent with the snapshot is covered by the
 		// cooperative hooks rather than silently missed (see
@@ -339,6 +362,7 @@ func (c *Collector) RunCycle() CycleReport {
 		c.mu.Unlock()
 		rep.MTRan = true
 		o.Span("M_T", "collector", obs.TIDCollector, phaseStart, int64(len(tRoots)))
+		c.tracePhase("M_T", wallStart)
 		if c.counters != nil {
 			c.counters.MTRuns.Add(1)
 		}
@@ -347,12 +371,14 @@ func (c *Collector) RunCycle() CycleReport {
 		}
 		<-doneR
 		o.Span("M_R", "collector", obs.TIDCollector, phaseStart, 1)
+		c.tracePhase("M_R", wallStart)
 		if c.cfg.AfterPhase != nil {
 			c.cfg.AfterPhase(graph.CtxR)
 		}
 	} else {
 		if c.mtDue(n) {
 			phaseStart := o.Now()
+			wallStart := c.traceWallStart()
 			// Activate before snapshotting, as in the overlap branch. In
 			// deterministic mode nothing executes between the two halves,
 			// so recorded schedules and golden digests are unchanged.
@@ -368,6 +394,7 @@ func (c *Collector) RunCycle() CycleReport {
 			c.mu.Unlock()
 			rep.MTRan = rep.Completed
 			o.Span("M_T", "collector", obs.TIDCollector, phaseStart, int64(len(roots)))
+			c.tracePhase("M_T", wallStart)
 			if c.counters != nil && rep.MTRan {
 				c.counters.MTRuns.Add(1)
 			}
@@ -378,12 +405,14 @@ func (c *Collector) RunCycle() CycleReport {
 
 		if rep.Completed {
 			phaseStart := o.Now()
+			wallStart := c.traceWallStart()
 			if c.cfg.Recorder != nil {
 				c.cfg.Recorder.CycleStart(graph.CtxR, rRoots)
 			}
 			done := c.marker.StartCycle(graph.CtxR, rRoots)
 			rep.Steps += c.waitPhase(graph.CtxR, done, &rep)
 			o.Span("M_R", "collector", obs.TIDCollector, phaseStart, 1)
+			c.tracePhase("M_R", wallStart)
 			if rep.Completed && c.cfg.AfterPhase != nil {
 				c.cfg.AfterPhase(graph.CtxR)
 			}
@@ -396,8 +425,10 @@ func (c *Collector) RunCycle() CycleReport {
 			c.cfg.Recorder.RestructureStart(rep.MTRan, rep.Sweep)
 		}
 		phaseStart := o.Now()
+		wallStart := c.traceWallStart()
 		c.restructure(&rep)
 		o.Span("restructure", "collector", obs.TIDCollector, phaseStart, int64(rep.Reclaimed))
+		c.tracePhase("restructure", wallStart)
 		if c.counters != nil {
 			c.counters.Cycles.Add(1)
 		}

@@ -76,6 +76,11 @@ type Config struct {
 	// and a "fab-batch" span per delivered batch (flush to first delivery).
 	// Nil-safe.
 	Obs *obs.Obs
+	// Trace, when non-nil, receives causal-lineage spans for traced tasks
+	// crossing the fabric: one "fabric-hop" span per traced task per
+	// delivered batch (flush to delivery, wall clock) and a "fabric-retry"
+	// point span per retransmission carrying traced tasks.
+	Trace *obs.TraceSink
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +161,7 @@ type batch struct {
 	tasks    []task.Task
 	born     int64 // clock when the oldest task entered the outbox
 	obsBorn  int64 // obs monotonic clock at flush (0 when obs is disabled)
+	wallBorn int64 // wall clock at flush (0 unless lineage tracing is on)
 	attempts int
 	inFlight bool  // a transmission is en route
 	dueAt    int64 // deterministic mode: arrival tick of that transmission
@@ -264,6 +270,9 @@ func (lk *link) flushLocked() *batch {
 	lk.nextSeq++
 	b := &batch{seq: lk.nextSeq, tasks: lk.outbox, born: lk.outboxBorn,
 		obsBorn: lk.f.cfg.Obs.Now()}
+	if lk.f.cfg.Trace != nil {
+		b.wallBorn = time.Now().UnixNano()
+	}
 	lk.outbox = nil
 	lk.unacked[b.seq] = b
 	lk.batches++
@@ -285,6 +294,18 @@ func (lk *link) transmitLocked(b *batch, now int64) {
 			c.FabricRetries.Add(1)
 		}
 		f.traceEvent("fab.retry", lk, fmt.Sprintf("seq=%d attempt=%d", b.seq, b.attempts))
+		if s := f.cfg.Trace; s != nil {
+			wall := time.Now().UnixNano()
+			for _, t := range b.tasks {
+				if t.Trace == 0 {
+					continue
+				}
+				s.Record(obs.TraceSpan{Trace: t.Trace, Span: s.NewSpan(),
+					Parent: t.Span(), Name: "fabric-retry", Cat: obs.CatFabric,
+					PE: lk.to, Start: wall, End: wall, N: int64(b.attempts),
+					Note: fmt.Sprintf("from=%d to=%d seq=%d", lk.from, lk.to, b.seq)})
+			}
+		}
 	}
 	delay := f.latD
 	if f.jitD > 0 {
@@ -355,6 +376,19 @@ func (lk *link) arriveLocked(b *batch, now int64) {
 		}
 		f.traceEvent("fab.deliver", lk, fmt.Sprintf("seq=%d n=%d attempt=%d", b.seq, len(b.tasks), b.attempts))
 		f.cfg.Obs.Span("fab-batch", "fabric", obs.TIDFabric, b.obsBorn, n)
+		if s := f.cfg.Trace; s != nil {
+			wall := time.Now().UnixNano()
+			for _, t := range b.tasks {
+				if t.Trace == 0 {
+					continue
+				}
+				s.Record(obs.TraceSpan{Trace: t.Trace, Span: s.NewSpan(),
+					Parent: t.Span(), Name: "fabric-hop", Cat: obs.CatFabric,
+					PE: lk.to, Start: b.wallBorn, End: wall, N: int64(b.attempts),
+					Note: fmt.Sprintf("from=%d to=%d seq=%d attempts=%d",
+						lk.from, lk.to, b.seq, b.attempts)})
+			}
+		}
 		if n > 0 {
 			f.deliver(lk.to, b.tasks)
 		}

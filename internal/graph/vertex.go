@@ -270,6 +270,14 @@ type RedState struct {
 	// (vertices allocated later are trivially T-unmarked without being
 	// deadlocked).
 	AllocEpochT uint64
+	// Trace and TraceSpan carry the causal-lineage context of the traced
+	// task currently driving this vertex (0 = untraced): tasks the engine
+	// spawns from here inherit Trace and point at TraceSpan as their
+	// causal parent. Like the rest of RedState the fields are opaque to
+	// the marking machinery, and ResetFree zeroes them with the struct, so
+	// a reclaimed-and-reallocated vertex can never leak a stale context.
+	Trace     uint64
+	TraceSpan uint32
 }
 
 // FreshAllocEpoch is the alloc-epoch sentinel carried by a vertex from the

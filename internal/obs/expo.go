@@ -70,6 +70,11 @@ type TenantProm struct {
 	// Completed-request latency quantiles, microseconds.
 	LatencyP50Us int64
 	LatencyP95Us int64
+	// Lineage exemplar: the slowest traced request so far ("" when the
+	// tenant has no traced requests), linking the latency series to a
+	// concrete trace in /debug/traces.json.
+	SlowestTraceID string
+	SlowestUs      int64
 }
 
 // writeTenants renders the tenant-labeled serving series. Counters first,
@@ -115,6 +120,20 @@ func writeTenants(p func(format string, args ...any), ts []TenantProm) {
 		func(t TenantProm) int64 { return t.LatencyP50Us })
 	gauge("dgr_tenant_latency_p95_us", "95th-percentile request latency, microseconds.",
 		func(t TenantProm) int64 { return t.LatencyP95Us })
+	// Exemplar series: value is the slowest traced request's latency, the
+	// trace label points into /debug/traces.json.
+	emitted := false
+	for _, t := range ts {
+		if t.SlowestTraceID == "" {
+			continue
+		}
+		if !emitted {
+			p("# HELP dgr_tenant_slowest_trace_us Latency of the tenant's slowest traced request; the trace label is its lineage trace ID.\n")
+			p("# TYPE dgr_tenant_slowest_trace_us gauge\n")
+			emitted = true
+		}
+		p("dgr_tenant_slowest_trace_us{tenant=%q,trace=%q} %d\n", t.Name, t.SlowestTraceID, t.SlowestUs)
+	}
 }
 
 // WritePrometheus renders d in the Prometheus text exposition format
@@ -151,6 +170,9 @@ func WritePrometheus(w io.Writer, d PromData) error {
 	counter("dgr_reprioritized_total", "Tasks whose band changed in restructuring.", s.Reprioritized)
 	counter("dgr_deadlocked_found_total", "Vertices reported deadlocked.", s.DeadlockedFound)
 	counter("dgr_check_violations_total", "Invariant violations reported.", s.CheckViolations)
+	counter("dgr_steals_total", "Successful cross-PE steal operations (batches taken).", s.Steals)
+	counter("dgr_stolen_tasks_total", "Tasks moved between PE pools by stealing.", s.StolenTasks)
+	counter("dgr_idle_polls_total", "Times a PE found no work in its own pool or any peer's.", s.IdlePolls)
 
 	if s.FabricSent > 0 {
 		counter("dgr_fabric_sent_total", "Tasks handed to the fabric.", s.FabricSent)

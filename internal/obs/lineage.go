@@ -1,0 +1,556 @@
+package obs
+
+// Causal task-lineage tracing: a TraceSink collects wall-clock spans stamped
+// with (trace ID, span ID, parent span ID) across every causal edge of the
+// system — request admission, task spawn, steal, fabric hop, collector
+// phase — and this file also holds the offline half: assembling the spans of
+// one trace back into its spawn DAG and computing the critical path with
+// per-category blame (exec / queue-wait / steal / fabric / gc-overlap).
+//
+// The sink is deliberately independent of *Obs: the per-PE span slices and
+// flight rings run on each machine's private monotonic clock, while one
+// TraceSink is shared by the serving layer and every pooled machine, so
+// lineage spans use wall-clock UnixNano (Go's time.Now carries a monotonic
+// reading within the process, so in-process deltas stay consistent).
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Trace-span categories. Blame accounting keys off Cat, so producers must
+// use these exact strings.
+const (
+	CatExec   = "exec"   // a task execution on a PE
+	CatSteal  = "steal"  // a cross-PE steal (point span on the stolen task)
+	CatFabric = "fabric" // a fabric hop or retry on an in-transit task
+	CatServe  = "serve"  // serving-layer phases: request/admission/memo/settle
+	CatEval   = "eval"   // one machine evaluation (root of the task subtree)
+	CatGC     = "gc"     // a collector phase interval (global, Trace == 0)
+	CatQueue  = "queue"  // synthesized: pool wait between spawn and execution
+)
+
+// TraceSpan is one record in a causal trace. Start/End are wall-clock
+// UnixNano. Queue, set on exec spans, is Start minus the task's spawn time
+// (the pre-execution wait the blame pass decomposes into fabric / steal /
+// queue). Trace == 0 marks a global interval (collector phases) that is not
+// part of any one trace but is overlapped against all of them.
+type TraceSpan struct {
+	Trace  uint64 `json:"trace,omitempty"`
+	Span   uint32 `json:"span"`
+	Parent uint32 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Cat    string `json:"cat"`
+	PE     int    `json:"pe"`
+	Start  int64  `json:"start"`
+	End    int64  `json:"end"`
+	Queue  int64  `json:"queue_ns,omitempty"`
+	N      int64  `json:"n,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+// TraceSink is the shared lineage collector: a mutex-guarded ring of
+// TraceSpans plus the trace/span ID allocators and the head-sampling state.
+// All methods are safe for concurrent use. A nil *TraceSink is inert.
+type TraceSink struct {
+	mu   sync.Mutex
+	ring []TraceSpan
+	next uint64 // total spans ever recorded; ring index = next % len
+	// Global (Trace 0) collector intervals live in their own, smaller ring:
+	// the collector cycles endlessly, so sharing the main ring would let gc
+	// records evict trace spans on an idle server.
+	glob     []TraceSpan
+	globNext uint64
+
+	rate    atomic.Uint64 // math.Float64bits of the sampling rate
+	acc     atomic.Uint64 // sampling accumulator (requests seen)
+	force   atomic.Bool   // sticky always-sample, set on violation/stuck
+	spanID  atomic.Uint32
+	traceID atomic.Uint64
+}
+
+// NewTraceSink returns a sink retaining the last capacity spans (default
+// 1<<16) and head-sampling traces at rate (clamped to [0,1]).
+func NewTraceSink(capacity int, rate float64) *TraceSink {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	globCap := capacity / 8
+	if globCap < 1024 {
+		globCap = 1024
+	}
+	s := &TraceSink{
+		ring: make([]TraceSpan, 0, capacity),
+		glob: make([]TraceSpan, 0, globCap),
+	}
+	s.SetRate(rate)
+	return s
+}
+
+// SetRate updates the head-sampling rate (clamped to [0,1]).
+func (s *TraceSink) SetRate(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	s.rate.Store(math.Float64bits(r))
+}
+
+// Rate returns the configured head-sampling rate.
+func (s *TraceSink) Rate() float64 {
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.rate.Load())
+}
+
+// Force switches the sink into always-sample mode — called when the machine
+// reports a violation, a deadlock, or ErrStuck, so every request after a
+// failure is traced regardless of the rate knob. Sticky until ClearForce.
+func (s *TraceSink) Force() {
+	if s != nil {
+		s.force.Store(true)
+	}
+}
+
+// Forced reports whether the sink is in always-sample mode.
+func (s *TraceSink) Forced() bool { return s != nil && s.force.Load() }
+
+// ClearForce returns the sink to rate-based sampling.
+func (s *TraceSink) ClearForce() {
+	if s != nil {
+		s.force.Store(false)
+	}
+}
+
+// Sample makes one head-sampling decision: deterministic rate-accumulator
+// sampling (every 1/rate-th request), overridden to true while forced.
+func (s *TraceSink) Sample() bool {
+	if s == nil {
+		return false
+	}
+	if s.force.Load() {
+		return true
+	}
+	rate := math.Float64frombits(s.rate.Load())
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	n := s.acc.Add(1)
+	return uint64(float64(n)*rate) > uint64(float64(n-1)*rate)
+}
+
+// NewTrace allocates a fresh nonzero trace ID.
+func (s *TraceSink) NewTrace() uint64 { return s.traceID.Add(1) }
+
+// NewSpan allocates a fresh nonzero span ID.
+func (s *TraceSink) NewSpan() uint32 {
+	id := s.spanID.Add(1)
+	for id == 0 { // wrapped: 0 means "no span"
+		id = s.spanID.Add(1)
+	}
+	return id
+}
+
+// Record appends one span, evicting the oldest when the ring is full.
+func (s *TraceSink) Record(sp TraceSpan) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, sp)
+	} else {
+		s.ring[s.next%uint64(cap(s.ring))] = sp
+	}
+	s.next++
+	s.mu.Unlock()
+}
+
+// Exec records a task execution span: the scheduler's per-traced-task path.
+func (s *TraceSink) Exec(trace uint64, span, parent uint32, name string, pe int, born, start, end int64) {
+	var queue int64
+	if born > 0 && start > born {
+		queue = start - born
+	}
+	s.Record(TraceSpan{Trace: trace, Span: span, Parent: parent, Name: name,
+		Cat: CatExec, PE: pe, Start: start, End: end, Queue: queue})
+}
+
+// Global records a collector phase interval. It belongs to no single trace
+// (Trace 0); the blame pass overlaps it against exec segments.
+func (s *TraceSink) Global(name string, pe int, start, end int64) {
+	if s == nil {
+		return
+	}
+	sp := TraceSpan{Span: s.NewSpan(), Name: name, Cat: CatGC, PE: pe, Start: start, End: end}
+	s.mu.Lock()
+	if len(s.glob) < cap(s.glob) {
+		s.glob = append(s.glob, sp)
+	} else {
+		s.glob[s.globNext%uint64(cap(s.glob))] = sp
+	}
+	s.globNext++
+	s.mu.Unlock()
+}
+
+// Spans returns the retained spans (trace spans followed by global
+// collector intervals), oldest first within each class, plus how many
+// trace spans were evicted from the ring.
+func (s *TraceSink) Spans() (spans []TraceSpan, dropped uint64) {
+	if s == nil {
+		return nil, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceSpan, 0, len(s.ring)+len(s.glob))
+	if len(s.ring) < cap(s.ring) {
+		out = append(out, s.ring...)
+	} else {
+		n := uint64(cap(s.ring))
+		dropped = s.next - n
+		for i := s.next - n; i < s.next; i++ {
+			out = append(out, s.ring[i%n])
+		}
+	}
+	if len(s.glob) < cap(s.glob) {
+		out = append(out, s.glob...)
+	} else {
+		n := uint64(cap(s.glob))
+		for i := s.globNext - n; i < s.globNext; i++ {
+			out = append(out, s.glob[i%n])
+		}
+	}
+	return out, dropped
+}
+
+// --- Assembly: spans back into per-trace spawn DAGs -----------------------
+
+// TraceNode is one span with its causal children, Start-ordered.
+type TraceNode struct {
+	TraceSpan
+	Children []*TraceNode
+}
+
+// TraceAssembly is one reconstructed trace: the spawn DAG (as a forest —
+// normally a single root, the serving layer's request span or a machine's
+// eval span) plus flat access to every span.
+type TraceAssembly struct {
+	ID      uint64
+	Start   int64
+	End     int64
+	Roots   []*TraceNode
+	Spans   []TraceSpan
+	Orphans int // spans whose recorded parent was evicted from the ring
+}
+
+// AssembleTraces groups spans by trace ID and rebuilds each trace's DAG;
+// global (Trace 0) collector intervals come back separately for overlap
+// blame. Spans whose parent is missing become extra roots and are counted
+// as orphans.
+func AssembleTraces(spans []TraceSpan) (traces []*TraceAssembly, globals []TraceSpan) {
+	byTrace := map[uint64][]TraceSpan{}
+	for _, sp := range spans {
+		if sp.Trace == 0 {
+			globals = append(globals, sp)
+			continue
+		}
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	sort.Slice(globals, func(i, j int) bool { return globals[i].Start < globals[j].Start })
+	ids := make([]uint64, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ts := byTrace[id]
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Start < ts[j].Start })
+		asm := &TraceAssembly{ID: id, Spans: ts, Start: ts[0].Start, End: ts[0].End}
+		nodes := make(map[uint32]*TraceNode, len(ts))
+		for i := range ts {
+			nodes[ts[i].Span] = &TraceNode{TraceSpan: ts[i]}
+			if ts[i].Start < asm.Start {
+				asm.Start = ts[i].Start
+			}
+			if ts[i].End > asm.End {
+				asm.End = ts[i].End
+			}
+		}
+		for i := range ts {
+			n := nodes[ts[i].Span]
+			if p, ok := nodes[ts[i].Parent]; ok && ts[i].Parent != ts[i].Span {
+				p.Children = append(p.Children, n)
+				continue
+			}
+			if ts[i].Parent != 0 {
+				asm.Orphans++
+			}
+			asm.Roots = append(asm.Roots, n)
+		}
+		traces = append(traces, asm)
+	}
+	return traces, globals
+}
+
+// --- Critical path + per-category blame -----------------------------------
+
+// CritSegment is one contiguous slice of a trace's critical path, blamed to
+// one category.
+type CritSegment struct {
+	Cat   string `json:"cat"`
+	Name  string `json:"name"`
+	Span  uint32 `json:"span"`
+	PE    int    `json:"pe"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// CritReport is the critical-path analysis of one trace: the path segments
+// (oldest first) and the per-category blame totals. The segments partition
+// the root span's interval, so the blame categories sum to (within clock
+// granularity) the measured trace latency.
+type CritReport struct {
+	Trace   uint64           `json:"trace"`
+	Start   int64            `json:"start"`
+	End     int64            `json:"end"`
+	TotalNs int64            `json:"total_ns"`
+	Blame   map[string]int64 `json:"blame_ns"`
+	Path    []CritSegment    `json:"path"`
+}
+
+// CriticalPath walks tr's DAG backward from the end of its root span,
+// repeatedly descending into the child whose completion gated the parent's
+// (latest End not after the cursor), chaining across siblings the same way,
+// and decomposing each task's pre-execution wait into fabric-hop, post-steal,
+// and plain queue time using the span's Queue window and its annotation
+// children. Exec time overlapping a global collector interval is re-blamed
+// to gc.
+func CriticalPath(tr *TraceAssembly, globals []TraceSpan) CritReport {
+	rep := CritReport{Trace: tr.ID, Start: tr.Start, End: tr.End,
+		Blame: map[string]int64{}}
+	if len(tr.Roots) == 0 {
+		return rep
+	}
+	// Root: the widest root span (the request/eval envelope).
+	root := tr.Roots[0]
+	for _, r := range tr.Roots[1:] {
+		if r.End-r.Start > root.End-root.Start {
+			root = r
+		}
+	}
+	rep.Start, rep.End = root.Start, root.End
+	rep.TotalNs = root.End - root.Start
+	// Spawned tasks outlive the span that spawned them, so the backward
+	// walk keys on each subtree's completion time (max End over the node
+	// and all descendants), not the node's own End.
+	fin := map[*TraceNode]int64{}
+	for _, r := range tr.Roots {
+		finishOf(r, fin)
+	}
+	var segs []CritSegment
+	chain(root, root.End, fin, &segs)
+	// chain emits newest-first; reverse and fold gc overlap.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	segs = carveGC(segs, globals)
+	for _, sg := range segs {
+		if d := sg.End - sg.Start; d > 0 {
+			rep.Blame[sg.Cat] += d
+		}
+	}
+	rep.Path = segs
+	return rep
+}
+
+// blameCat maps a span's category to its blame bucket: machine evaluation
+// envelopes count as exec work; serving-layer phase spans as serve overhead.
+func blameCat(sp *TraceSpan) string {
+	switch sp.Cat {
+	case CatExec, CatEval:
+		return CatExec
+	case CatSteal, CatFabric, CatGC, CatQueue:
+		return sp.Cat
+	default:
+		return CatServe
+	}
+}
+
+// finishOf computes each subtree's completion time: the max End over the
+// node and every descendant (a spawned task's exec span routinely ends
+// after its parent's does).
+func finishOf(node *TraceNode, fin map[*TraceNode]int64) int64 {
+	f := node.End
+	for _, c := range node.Children {
+		if cf := finishOf(c, fin); cf > f {
+			f = cf
+		}
+	}
+	fin[node] = f
+	return f
+}
+
+// chain appends (newest-first) the critical segments of node's subtree that
+// cover (chainStart(node), cursor]. The walk is backward: the child whose
+// subtree completed last (at or before the cursor) gated the parent, so
+// charge the gap after it to the parent, recurse into it, and continue from
+// where its own chain started.
+func chain(node *TraceNode, cursor int64, fin map[*TraceNode]int64, segs *[]CritSegment) int64 {
+	if f := fin[node]; cursor > f {
+		cursor = f
+	}
+	// Children whose subtrees completed inside the causal window (after
+	// this task started) are causal work; children that finished before
+	// Start (fabric hops, steal points) are pre-execution annotations
+	// handled by the wait pass below.
+	for cursor > node.Start {
+		var best *TraceNode
+		var bestFin int64
+		for _, c := range node.Children {
+			cf := fin[c]
+			if cf > cursor || cf <= node.Start {
+				continue
+			}
+			if best == nil || cf > bestFin {
+				best, bestFin = c, cf
+			}
+		}
+		if best == nil {
+			break
+		}
+		if cursor > bestFin {
+			*segs = append(*segs, CritSegment{Cat: blameCat(&node.TraceSpan),
+				Name: node.Name, Span: node.Span, PE: node.PE, Start: bestFin, End: cursor})
+		}
+		prev := cursor
+		cursor = chain(best, bestFin, fin, segs)
+		if cursor >= bestFin {
+			cursor = best.Start
+		}
+		if cursor >= prev { // zero-width child at the cursor: force progress
+			break
+		}
+	}
+	if cursor > node.End {
+		// Unattributed subtree time after this span's own end still
+		// belongs to its category, keeping the segments a partition.
+		*segs = append(*segs, CritSegment{Cat: blameCat(&node.TraceSpan),
+			Name: node.Name, Span: node.Span, PE: node.PE, Start: node.End, End: cursor})
+		cursor = node.End
+	}
+	if cursor > node.Start {
+		*segs = append(*segs, CritSegment{Cat: blameCat(&node.TraceSpan),
+			Name: node.Name, Span: node.Span, PE: node.PE, Start: node.Start, End: cursor})
+		cursor = node.Start
+	}
+	// Pre-execution wait: decompose (Born, Start] backward through the
+	// node's annotation children — a fabric hop's interval is fabric time, a
+	// steal point converts the wait after it into post-steal (thief pool)
+	// wait, and whatever remains is plain queue wait on the spawning PE.
+	if node.Queue <= 0 {
+		return cursor
+	}
+	born := node.Start - node.Queue
+	for cursor > born {
+		var best *TraceNode
+		for _, c := range node.Children {
+			if c.Cat != CatFabric && c.Cat != CatSteal {
+				continue
+			}
+			if c.End > cursor || c.End <= born {
+				continue
+			}
+			if best == nil || c.End > best.End {
+				best = c
+			}
+		}
+		if best == nil {
+			break
+		}
+		if cursor > best.End {
+			waitCat := CatQueue
+			if best.Cat == CatSteal {
+				waitCat = CatSteal
+			}
+			*segs = append(*segs, CritSegment{Cat: waitCat, Name: "wait",
+				Span: node.Span, PE: node.PE, Start: best.End, End: cursor})
+		}
+		if best.End > best.Start {
+			*segs = append(*segs, CritSegment{Cat: best.Cat, Name: best.Name,
+				Span: best.Span, PE: best.PE, Start: max64(best.Start, born), End: best.End})
+		}
+		if best.Start >= cursor { // zero-width annotation at the cursor
+			break
+		}
+		cursor = best.Start
+	}
+	if cursor > born {
+		*segs = append(*segs, CritSegment{Cat: CatQueue, Name: "wait",
+			Span: node.Span, PE: node.PE, Start: born, End: cursor})
+		cursor = born
+	}
+	return cursor
+}
+
+// carveGC splits exec segments where they overlap a global collector
+// interval, re-blaming the overlap to gc. Segments arrive and leave oldest
+// first; globals must be Start-sorted.
+func carveGC(segs []CritSegment, globals []TraceSpan) []CritSegment {
+	if len(globals) == 0 {
+		return segs
+	}
+	var out []CritSegment
+	for _, sg := range segs {
+		if sg.Cat != CatExec {
+			out = append(out, sg)
+			continue
+		}
+		cur := sg.Start
+		for _, g := range globals {
+			if g.End <= cur || g.Start >= sg.End {
+				continue
+			}
+			if g.Start > cur {
+				pre := sg
+				pre.Start, pre.End = cur, g.Start
+				out = append(out, pre)
+			}
+			gcSeg := sg
+			gcSeg.Cat, gcSeg.Name = CatGC, g.Name
+			gcSeg.Start, gcSeg.End = max64(cur, g.Start), min64(sg.End, g.End)
+			out = append(out, gcSeg)
+			cur = gcSeg.End
+			if cur >= sg.End {
+				break
+			}
+		}
+		if cur < sg.End {
+			tail := sg
+			tail.Start = cur
+			out = append(out, tail)
+		}
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package obs
+
+// JSON exposition of assembled lineage traces: the document served at
+// /debug/traces.json (serving layer), written by Machine.WriteTracesJSON,
+// and consumed by `dgr-trace analyze`. The analyzer recomputes the critical
+// path from the raw spans when asked, so the document carries both.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceDoc is the lineage exposition document: every assembled trace with
+// its critical-path analysis, plus the global collector intervals they
+// overlap and how many trace spans the sink's ring has evicted.
+type TraceDoc struct {
+	Traces  []TraceReport `json:"traces"`
+	Globals []TraceSpan   `json:"globals,omitempty"`
+	Dropped uint64        `json:"dropped,omitempty"`
+}
+
+// TraceReport is one assembled trace: its raw spans (Start-ordered) and the
+// critical path with per-category blame.
+type TraceReport struct {
+	ID      uint64      `json:"id"`
+	Start   int64       `json:"start"`
+	End     int64       `json:"end"`
+	TotalNs int64       `json:"total_ns"`
+	Orphans int         `json:"orphans,omitempty"`
+	Spans   []TraceSpan `json:"spans"`
+	Crit    CritReport  `json:"critical"`
+}
+
+// BuildTraceDoc drains the sink's retained spans into the exposition
+// document, assembling each trace and running the critical-path analysis.
+func BuildTraceDoc(s *TraceSink) TraceDoc {
+	spans, dropped := s.Spans()
+	traces, globals := AssembleTraces(spans)
+	doc := TraceDoc{Globals: globals, Dropped: dropped}
+	for _, tr := range traces {
+		crit := CriticalPath(tr, globals)
+		doc.Traces = append(doc.Traces, TraceReport{
+			ID: tr.ID, Start: tr.Start, End: tr.End,
+			TotalNs: crit.TotalNs, Orphans: tr.Orphans,
+			Spans: tr.Spans, Crit: crit,
+		})
+	}
+	return doc
+}
+
+// WriteTracesJSON writes the sink's assembled traces as an indented
+// TraceDoc.
+func WriteTracesJSON(w io.Writer, s *TraceSink) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildTraceDoc(s))
+}

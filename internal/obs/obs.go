@@ -88,6 +88,9 @@ type Span struct {
 const (
 	TIDCollector = -1
 	TIDFabric    = -2
+	// TIDEval marks machine-level evaluation envelopes and serving-layer
+	// phase spans in lineage traces (no single PE owns them).
+	TIDEval = -3
 )
 
 // peSlot is one PE's hot-path accounting. Only PE pe's goroutine writes the

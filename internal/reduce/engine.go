@@ -39,6 +39,11 @@ type Config struct {
 	Prog *gm.Program
 	// Counters receives statistics; optional.
 	Counters *metrics.Counters
+	// Tracing enables causal-lineage propagation: tasks spawned by the
+	// engine inherit the trace context stamped on the vertex they originate
+	// from, and every executed traced task republishes its context on its
+	// destination vertex. Off (the default), spawns pay one boolean test.
+	Tracing bool
 }
 
 // Value is the WHNF result delivered for a demanded root.
@@ -176,11 +181,21 @@ func (e *Engine) fail(v *graph.Vertex, format string, args ...any) {
 // returned channel receives the WHNF value once computed; it never fires
 // for a deadlocked or nonterminating computation.
 func (e *Engine) Demand(root graph.VertexID) <-chan Value {
+	return e.DemandTraced(root, 0, 0)
+}
+
+// DemandTraced is Demand with an explicit causal-lineage context: the root
+// demand — and, transitively, every task its reduction spawns — belongs to
+// trace, with parent as the root demand's causal parent span (the serving
+// layer's eval span). A zero trace is an ordinary untraced Demand.
+func (e *Engine) DemandTraced(root graph.VertexID, trace uint64, parent uint32) <-chan Value {
 	ch := make(chan Value, 1)
 	e.mu.Lock()
 	e.rootWaiters[root] = append(e.rootWaiters[root], ch)
 	e.mu.Unlock()
-	e.spawn(task.Task{Kind: task.Demand, Src: graph.NilVertex, Dst: root, Req: graph.ReqVital})
+	t := task.Task{Kind: task.Demand, Src: graph.NilVertex, Dst: root, Req: graph.ReqVital, Trace: trace}
+	t.SetParentSpan(parent)
+	e.spawn(t)
 	return ch
 }
 
@@ -195,12 +210,56 @@ func (e *Engine) Demand(root graph.VertexID) <-chan Value {
 // the task queued, and a cycle activated before the push is active when
 // the cooperation check runs.
 func (e *Engine) spawn(t task.Task) {
+	if e.cfg.Tracing && t.Trace == 0 {
+		e.inheritTrace(&t)
+	}
 	e.mach.Spawn(t)
 	e.mut.CoopTaskSpawn(t.Src, t.Dst)
 }
 
+// inheritTrace stamps a spawned task with the lineage context published on
+// the vertex it causally originates from (Src; Dst for sourceless
+// self-continuations). The reduction handlers release every vertex lock
+// before spawning, so the brief acquisition here nests inside nothing.
+func (e *Engine) inheritTrace(t *task.Task) {
+	id := t.Src
+	if id == graph.NilVertex {
+		id = t.Dst
+	}
+	v := e.store.Vertex(id)
+	if v == nil {
+		return
+	}
+	v.Lock()
+	if v.Kind != graph.KindFree && v.Red.Trace != 0 {
+		t.Trace = v.Red.Trace
+		t.SetParentSpan(v.Red.TraceSpan)
+	}
+	v.Unlock()
+}
+
+// publishTrace stamps the executing traced task's context on its
+// destination vertex, making the task the causal parent of everything the
+// reduction spawns from there. RedState is opaque to the marking machinery
+// and zeroed on reclamation, so the stamp cannot outlive the vertex.
+func (e *Engine) publishTrace(t task.Task) {
+	v := e.store.Vertex(t.Dst)
+	if v == nil {
+		return
+	}
+	v.Lock()
+	if v.Kind != graph.KindFree {
+		v.Red.Trace = t.Trace
+		v.Red.TraceSpan = t.Span()
+	}
+	v.Unlock()
+}
+
 // Handle implements sched.Handler for reduction tasks.
 func (e *Engine) Handle(t task.Task) {
+	if t.Trace != 0 {
+		e.publishTrace(t)
+	}
 	switch t.Kind {
 	case task.Demand:
 		e.handleDemand(t)

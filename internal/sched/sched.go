@@ -135,6 +135,13 @@ type Config struct {
 	// hot path pays one pointer test for the disabled layer.
 	Obs *obs.Obs
 
+	// Trace, when non-nil, receives causal-lineage spans for traced tasks:
+	// a span ID is assigned at spawn, an exec span is recorded per traced
+	// execution, and a steal point-span is recorded when a traced task
+	// moves pools. Untraced tasks (Trace == 0 — everything unless a head-
+	// sampled request stamped a context upstream) pay one field test.
+	Trace *obs.TraceSink
+
 	// OnSpawn, when set, observes every task entering the machine (before
 	// routing). It must be fast and must not call back into the Machine;
 	// it may run concurrently in parallel mode. The invariant checker uses
@@ -343,6 +350,7 @@ func (m *Machine) originOf(t task.Task) int {
 // counted inflight while in transit), otherwise it lands directly in the
 // destination pool.
 func (m *Machine) Spawn(t task.Task) {
+	m.stampTrace(&t)
 	if fn := m.cfg.OnSpawn; fn != nil {
 		fn(t)
 	}
@@ -383,6 +391,7 @@ func (m *Machine) SpawnBatch(ts []task.Task) {
 	buckets := make([][]task.Task, m.cfg.PEs)
 	var local, remote int64
 	for _, t := range ts {
+		m.stampTrace(&t)
 		if onSpawn != nil {
 			onSpawn(t)
 		}
@@ -417,6 +426,27 @@ func (m *Machine) SpawnBatch(ts []task.Task) {
 		if local > 0 {
 			c.LocalMessages.Add(local)
 		}
+	}
+}
+
+// stampTrace assigns a traced task its own lineage span ID and spawn
+// timestamp before routing. Untraced tasks (the common case) pay one field
+// test; with no sink configured a stray context is dropped instead of
+// carried dead.
+func (m *Machine) stampTrace(t *task.Task) {
+	if t.Trace == 0 {
+		return
+	}
+	s := m.cfg.Trace
+	if s == nil {
+		t.Trace, t.Spans, t.Born = 0, 0, 0
+		return
+	}
+	if t.Span() == 0 {
+		t.SetSpan(s.NewSpan())
+	}
+	if t.Born == 0 {
+		t.Born = time.Now().UnixNano()
 	}
 }
 
@@ -458,9 +488,17 @@ func (m *Machine) execute(pe int, t task.Task) {
 	slot.valid = true
 	slot.execs++
 	slot.mu.Unlock()
+	var traceStart int64
+	if m.cfg.Trace != nil && t.Trace != 0 {
+		traceStart = time.Now().UnixNano()
+	}
 	m.cfg.Obs.TaskStart(pe)
 	m.handler.Handle(t)
 	m.cfg.Obs.TaskEnd(pe, uint8(t.Kind), uint64(t.Src), uint64(t.Dst))
+	if traceStart != 0 {
+		m.cfg.Trace.Exec(t.Trace, t.Span(), t.ParentSpan(), t.Kind.String(),
+			pe, t.Born, traceStart, time.Now().UnixNano())
+	}
 	slot.mu.Lock()
 	slot.valid = false
 	slot.mu.Unlock()
@@ -758,7 +796,22 @@ func (m *Machine) stealFor(pe int) bool {
 	if batch > m.cfg.StealBatch {
 		batch = m.cfg.StealBatch
 	}
-	n := m.pools[victim].StealInto(m.pools[pe], batch)
+	// For traced tasks, a steal is a causal hop worth a span: it explains
+	// why the task's remaining queue wait happened on the thief's pool.
+	var each func(task.Task)
+	if s := m.cfg.Trace; s != nil {
+		each = func(t task.Task) {
+			if t.Trace == 0 {
+				return
+			}
+			now := time.Now().UnixNano()
+			s.Record(obs.TraceSpan{Trace: t.Trace, Span: s.NewSpan(),
+				Parent: t.Span(), Name: "steal", Cat: obs.CatSteal, PE: pe,
+				Start: now, End: now, N: int64(victim),
+				Note: fmt.Sprintf("victim=%d thief=%d", victim, pe)})
+		}
+	}
+	n := m.pools[victim].StealInto(m.pools[pe], batch, each)
 	if n == 0 {
 		return false
 	}

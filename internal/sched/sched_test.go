@@ -567,7 +567,7 @@ func TestStealNotesWatch(t *testing.T) {
 	if w.Touched() {
 		t.Fatal("watch touched before any activity")
 	}
-	if n := m.Pool(0).StealInto(m.Pool(1), 2); n != 2 {
+	if n := m.Pool(0).StealInto(m.Pool(1), 2, nil); n != 2 {
 		t.Fatalf("stole %d, want 2", n)
 	}
 	if !w.Touched() {
@@ -577,7 +577,7 @@ func TestStealNotesWatch(t *testing.T) {
 	w2 := NewWatch([]graph.VertexID{99})
 	m.SetWatch(w2)
 	m.Pool(0).Push(task.Task{Kind: task.Mark, Dst: 99})
-	if n := m.Pool(0).StealInto(m.Pool(1), 1); n != 1 {
+	if n := m.Pool(0).StealInto(m.Pool(1), 1, nil); n != 1 {
 		t.Fatal("mark steal failed")
 	}
 	if w2.Touched() {

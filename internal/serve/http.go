@@ -31,17 +31,19 @@ type errorBody struct {
 
 // Handler returns the server's HTTP API:
 //
-//	POST /v1/eval          evaluate (sync by default; async/stream opt-in)
-//	GET  /v1/jobs/<id>     job status and result
-//	GET  /metrics          Prometheus exposition (pool + per-tenant series)
-//	GET  /debug/serve.json pool/cache/tenant digest incl. check violations
-//	GET  /healthz          liveness
+//	POST /v1/eval           evaluate (sync by default; async/stream opt-in)
+//	GET  /v1/jobs/<id>      job status and result
+//	GET  /metrics           Prometheus exposition (pool + per-tenant series)
+//	GET  /debug/serve.json  pool/cache/tenant digest incl. check violations
+//	GET  /debug/traces.json assembled lineage traces with critical paths
+//	GET  /healthz           liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/eval", s.handleEval)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/serve.json", s.handleDebug)
+	mux.HandleFunc("/debug/traces.json", s.handleTraces)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -185,6 +187,21 @@ func (s *Server) promData() obs.PromData {
 		d.Deadlocked += len(w.m.Deadlocked())
 	}
 	return d
+}
+
+// handleTraces serves the assembled lineage traces (an obs.TraceDoc). 404
+// when tracing is off so probes can distinguish "no traces yet" from
+// "not tracing".
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.trace == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{&Error{
+			Code: CodeNotFound, Message: "lineage tracing disabled (set -trace-rate)"}})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.WriteTracesJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // debugState is the GET /debug/serve.json document.

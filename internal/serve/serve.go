@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -98,6 +99,16 @@ type Options struct {
 	// JobHistory bounds how many finished jobs remain queryable by ID
 	// (default 4096; oldest evicted first).
 	JobHistory int
+
+	// TraceRate enables causal task-lineage tracing: each submission is
+	// head-sampled at this rate, and a sampled request's full causal
+	// history — admission, queue wait, memo probe, dispatch, the machine's
+	// spawn/steal/fabric lineage, settle — is recorded into one shared
+	// trace sink across the whole pool, assembled (with critical-path
+	// blame) at /debug/traces.json. 0 disables tracing.
+	TraceRate float64
+	// TraceCapacity bounds the shared sink's span ring (default 1<<17).
+	TraceCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +138,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JobHistory <= 0 {
 		o.JobHistory = 4096
+	}
+	if o.TraceCapacity <= 0 {
+		o.TraceCapacity = 1 << 17
 	}
 	return o
 }
@@ -176,11 +190,20 @@ type Job struct {
 
 	submitted time.Time
 	started   time.Time
+	evalDone  time.Time
 	finished  time.Time
 	done      chan struct{}
+
+	// Lineage: nonzero when this request was head-sampled at admission.
+	// rootSpan is the "request" envelope span every other span of the
+	// trace — serve phases and the machine's task lineage — hangs off.
+	trace    uint64
+	rootSpan uint32
 }
 
-// JobView is an immutable snapshot of a Job.
+// JobView is an immutable snapshot of a Job. TraceID, when non-empty, is
+// the lineage trace this request was sampled into (look it up in
+// /debug/traces.json or `dgr-trace analyze`).
 type JobView struct {
 	ID        string  `json:"id"`
 	Tenant    string  `json:"tenant"`
@@ -190,6 +213,7 @@ type JobView struct {
 	Result    *Result `json:"result,omitempty"`
 	Err       *Error  `json:"error,omitempty"`
 	ElapsedUs int64   `json:"elapsed_us"`
+	TraceID   string  `json:"trace_id,omitempty"`
 }
 
 // ID returns the job's identifier (stable, safe without the lock).
@@ -209,6 +233,9 @@ func (j *Job) viewLocked() JobView {
 	v := JobView{
 		ID: j.id, Tenant: j.tenant.name, Status: j.status,
 		Digest: j.digest, CacheHit: j.cacheHit, Result: j.result, Err: j.err,
+	}
+	if j.trace != 0 {
+		v.TraceID = fmt.Sprintf("%x", j.trace)
 	}
 	switch j.status {
 	case StatusDone, StatusFailed:
@@ -264,6 +291,11 @@ type Server struct {
 	violations []string // from recycled (closed) machines, capped
 
 	cache *memoCache
+	// trace is the pool-wide lineage sink (nil when tracing is off): one
+	// ring shared by the serving layer and every pooled machine, so a
+	// request's spans assemble into one trace no matter which machine —
+	// or, after a recycle, which machine generation — served it.
+	trace *obs.TraceSink
 }
 
 // New builds and starts a server (its worker goroutines idle until jobs
@@ -275,6 +307,9 @@ func New(opts Options) *Server {
 		tenants: make(map[string]*tenant),
 		jobs:    make(map[string]*Job),
 		cache:   newMemoCache(opts.CacheEntries),
+	}
+	if opts.TraceRate > 0 {
+		s.trace = obs.NewTraceSink(opts.TraceCapacity, opts.TraceRate)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for b := range s.credits {
@@ -300,6 +335,9 @@ func (s *Server) newMachine(id int) *dgr.Machine {
 		Check:    s.opts.Check,
 		Obs:      s.opts.Obs,
 		Engine:   s.opts.Engine,
+		// Shared sink with rate 0 at the machine level: sampling is the
+		// server's admission-time decision, carried in via EvalTraced.
+		TraceSink: s.trace,
 	})
 }
 
@@ -349,12 +387,23 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		return nil, &Error{Code: CodeParse, Message: derr.Error(), Tenant: t.name}
 	}
 
+	// Head-sampling decision: made once at admission, before the outcome
+	// is known, so rejected and failed requests are as likely to carry a
+	// trace as successful ones (and always, once the sink is forced).
+	var trID uint64
+	var rootSpan uint32
+	if s.trace.Sample() {
+		trID = s.trace.NewTrace()
+		rootSpan = s.trace.NewSpan()
+	}
+
 	// Memo-cache fast path: a known normal form short-circuits admission.
 	if res, ok := s.cacheGetLocked(digest, req.List); ok {
 		t.stats.CacheHits++
 		t.stats.Admitted++
 		t.stats.Completed++
 		j := s.newJobLocked(t, req, digest)
+		j.trace, j.rootSpan = trID, rootSpan
 		j.status = StatusDone
 		j.cacheHit = true
 		j.result = res
@@ -362,6 +411,13 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		j.finished = time.Now()
 		t.inflight-- // newJobLocked charged it; a hit never occupies a slot
 		t.stats.latency.Observe(j.finished.Sub(j.submitted).Microseconds())
+		if j.trace != 0 {
+			s.trace.Record(obs.TraceSpan{Trace: j.trace, Span: s.trace.NewSpan(),
+				Parent: j.rootSpan, Name: "memo", Cat: obs.CatServe, PE: obs.TIDEval,
+				Start: j.submitted.UnixNano(), End: j.finished.UnixNano(), Note: "hit"})
+			s.traceRequestLocked(j)
+		}
+		t.observeTrace(j)
 		close(j.done)
 		s.retireLocked(j)
 		return j, nil
@@ -394,13 +450,33 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	t.stats.Admitted++
 	t.stats.CacheMisses++
 	j := s.newJobLocked(t, req, digest)
+	j.trace, j.rootSpan = trID, rootSpan
 	j.cost = cost
 	t.charged += cost
 	t.queue = append(t.queue, j)
 	s.queued++
 	s.ringAddLocked(t)
+	if j.trace != 0 {
+		s.trace.Record(obs.TraceSpan{Trace: j.trace, Span: s.trace.NewSpan(),
+			Parent: j.rootSpan, Name: "admission", Cat: obs.CatServe, PE: obs.TIDEval,
+			Start: j.submitted.UnixNano(), End: time.Now().UnixNano(),
+			Note: fmt.Sprintf("tenant=%s cost=%d", t.name, cost)})
+	}
 	s.cond.Signal()
 	return j, nil
+}
+
+// traceRequestLocked closes out a traced job's root "request" span; called
+// exactly once, with the server lock held, when the job reaches a terminal
+// state.
+func (s *Server) traceRequestLocked(j *Job) {
+	note := fmt.Sprintf("tenant=%s job=%s status=%s", j.tenant.name, j.id, j.status)
+	if j.err != nil {
+		note += " code=" + j.err.Code
+	}
+	s.trace.Record(obs.TraceSpan{Trace: j.trace, Span: j.rootSpan,
+		Name: "request", Cat: obs.CatServe, PE: obs.TIDEval,
+		Start: j.submitted.UnixNano(), End: j.finished.UnixNano(), Note: note})
 }
 
 // newJobLocked registers a fresh job and counts it against the tenant's
@@ -543,7 +619,26 @@ func (s *Server) workerLoop(w *worker) {
 // cached between admission and dispatch (two cold submissions of the same
 // program), so the cache is consulted once more before reducing.
 func (s *Server) execute(w *worker, j *Job) {
-	if res, ok := s.cache.Get(cacheKey(j.digest, j.req.List)); ok {
+	if j.trace != 0 {
+		// The queue-wait span covers admission→dispatch; CatQueue routes
+		// it into the critical path's queue blame bucket.
+		s.trace.Record(obs.TraceSpan{Trace: j.trace, Span: s.trace.NewSpan(),
+			Parent: j.rootSpan, Name: "queue-wait", Cat: obs.CatQueue, PE: obs.TIDEval,
+			Start: j.submitted.UnixNano(), End: j.started.UnixNano(),
+			Note: fmt.Sprintf("worker=%d", w.id)})
+	}
+	probe := time.Now()
+	res, ok := s.cache.Get(cacheKey(j.digest, j.req.List))
+	if j.trace != 0 {
+		note := "miss"
+		if ok {
+			note = "hit"
+		}
+		s.trace.Record(obs.TraceSpan{Trace: j.trace, Span: s.trace.NewSpan(),
+			Parent: j.rootSpan, Name: "memo", Cat: obs.CatServe, PE: obs.TIDEval,
+			Start: probe.UnixNano(), End: time.Now().UnixNano(), Note: note})
+	}
+	if ok {
 		s.finish(j, res, true, 0, nil)
 		return
 	}
@@ -557,21 +652,21 @@ func (s *Server) execute(w *worker, j *Job) {
 	}
 	free0 := m.FreeVertices()
 
-	var res *Result
 	var evalErr error
 	if j.req.List {
 		var vs []dgr.Value
-		vs, evalErr = m.EvalList(j.req.Program)
+		vs, evalErr = m.EvalListTraced(j.req.Program, j.trace, j.rootSpan)
 		if evalErr == nil {
 			res = listResult(vs)
 		}
 	} else {
 		var v dgr.Value
-		v, evalErr = m.Eval(j.req.Program)
+		v, evalErr = m.EvalTraced(j.req.Program, j.trace, j.rootSpan)
 		if evalErr == nil {
 			res = valueResult(v)
 		}
 	}
+	j.evalDone = time.Now()
 	used := free0 - m.FreeVertices()
 	if used < 0 {
 		used = 0
@@ -606,6 +701,8 @@ func (s *Server) finish(j *Job, res *Result, hit bool, used int, m *dgr.Machine)
 	}
 	t.stats.Completed++
 	t.stats.latency.Observe(j.finished.Sub(j.submitted).Microseconds())
+	s.traceSettleLocked(j)
+	t.observeTrace(j)
 	close(j.done)
 	s.retireLocked(j)
 }
@@ -626,8 +723,26 @@ func (s *Server) fail(j *Job, e *Error, used int) {
 	}
 	t.stats.Failed++
 	t.stats.latency.Observe(j.finished.Sub(j.submitted).Microseconds())
+	s.traceSettleLocked(j)
+	t.observeTrace(j)
 	close(j.done)
 	s.retireLocked(j)
+}
+
+// traceSettleLocked records a traced job's "settle" span (evaluation end →
+// charges released) and closes out its root request span.
+func (s *Server) traceSettleLocked(j *Job) {
+	if j.trace == 0 {
+		return
+	}
+	settleStart := j.evalDone
+	if settleStart.IsZero() {
+		settleStart = j.finished
+	}
+	s.trace.Record(obs.TraceSpan{Trace: j.trace, Span: s.trace.NewSpan(),
+		Parent: j.rootSpan, Name: "settle", Cat: obs.CatServe, PE: obs.TIDEval,
+		Start: settleStart.UnixNano(), End: j.finished.UnixNano()})
+	s.traceRequestLocked(j)
 }
 
 // retireLocked bounds the finished-job history.
@@ -771,6 +886,10 @@ func (s *Server) TenantProms() []obs.TenantProm {
 	for _, name := range names {
 		t := s.tenants[name]
 		lat := t.stats.latency.Snapshot()
+		slowest := ""
+		if t.slowestTrace != 0 {
+			slowest = fmt.Sprintf("%x", t.slowestTrace)
+		}
 		out = append(out, obs.TenantProm{
 			Name:             name,
 			Requests:         t.stats.Requests,
@@ -787,9 +906,25 @@ func (s *Server) TenantProms() []obs.TenantProm {
 			VertexQuota:      int64(t.limits.VertexQuota),
 			LatencyP50Us:     lat.Quantile(0.50),
 			LatencyP95Us:     lat.Quantile(0.95),
+			SlowestTraceID:   slowest,
+			SlowestUs:        t.slowestUs,
 		})
 	}
 	return out
+}
+
+// TraceSink returns the pool-wide lineage sink, or nil when tracing is off
+// (Options.TraceRate 0).
+func (s *Server) TraceSink() *obs.TraceSink { return s.trace }
+
+// WriteTracesJSON writes every retained lineage trace — assembled into its
+// spawn DAG, with critical-path analysis and per-category blame — as an
+// obs.TraceDoc. It errors unless Options.TraceRate is set.
+func (s *Server) WriteTracesJSON(w io.Writer) error {
+	if s.trace == nil {
+		return errors.New("serve: lineage tracing disabled (set Options.TraceRate)")
+	}
+	return obs.WriteTracesJSON(w, s.trace)
 }
 
 // PoolStats is a point-in-time summary of the server.

@@ -72,6 +72,23 @@ type tenant struct {
 	deficit int
 	inRing  bool
 	stats   tenantStats
+	// Lineage exemplar: the slowest traced request seen so far, exposed
+	// next to the tenant's latency quantiles so an operator can jump from
+	// a latency regression straight to a concrete trace.
+	slowestTrace uint64
+	slowestUs    int64
+}
+
+// observeTrace updates the tenant's slowest-traced-request exemplar from a
+// finished job. Guarded by the server mutex like the rest of the stats.
+func (t *tenant) observeTrace(j *Job) {
+	if j.trace == 0 {
+		return
+	}
+	us := j.finished.Sub(j.submitted).Microseconds()
+	if us > t.slowestUs || t.slowestTrace == 0 {
+		t.slowestTrace, t.slowestUs = j.trace, us
+	}
 }
 
 // charge prices one request against the vertex quota.

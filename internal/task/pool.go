@@ -292,7 +292,9 @@ func (p *Pool) PopWaitFor(d time.Duration) (t Task, ok bool, closed bool) {
 // Tails, not heads: the victim keeps the oldest work in each band (what it
 // will pop next), and the stolen tasks retain their relative FIFO order at
 // the thief's tail.
-func (p *Pool) StealInto(dst *Pool, max int) int {
+// each, when non-nil, additionally observes every moved task under the same
+// locks (the scheduler records lineage steal spans through it).
+func (p *Pool) StealInto(dst *Pool, max int, each func(Task)) int {
 	if p == dst || max <= 0 {
 		return 0
 	}
@@ -321,6 +323,9 @@ func (p *Pool) StealInto(dst *Pool, max int) int {
 			t := *r.at(start + i)
 			if p.onPop != nil {
 				p.onPop(t)
+			}
+			if each != nil {
+				each(t)
 			}
 			dst.bands[b].push(t)
 		}

@@ -492,14 +492,14 @@ func TestPoolStealInto(t *testing.T) {
 	victim.SetOnPop(func(tk Task) { popped = append(popped, tk.Dst) })
 
 	// Steal 2: from the tail of the highest band, FIFO order retained.
-	if n := victim.StealInto(thief, 2); n != 2 {
+	if n := victim.StealInto(thief, 2, nil); n != 2 {
 		t.Fatalf("stole %d, want 2", n)
 	}
 	if victim.Len() != 5 || thief.Len() != 2 {
 		t.Fatalf("lens after steal: victim=%d thief=%d, want 5/2", victim.Len(), thief.Len())
 	}
 	// Steal 3 more: the remaining vital tasks, then the reserve tail.
-	if n := victim.StealInto(thief, 3); n != 3 {
+	if n := victim.StealInto(thief, 3, nil); n != 3 {
 		t.Fatalf("second steal moved %d, want 3", n)
 	}
 	// Thief got the vital tail {3,4}, then vital {1,2}, then reserve {13};
@@ -535,16 +535,16 @@ func TestPoolStealInto(t *testing.T) {
 func TestPoolStealIntoLimitsAndSelf(t *testing.T) {
 	a, b := NewPool(), NewPool()
 	a.Push(Task{Kind: Reduce, Dst: 1})
-	if n := a.StealInto(a, 5); n != 0 {
+	if n := a.StealInto(a, 5, nil); n != 0 {
 		t.Fatalf("self-steal moved %d", n)
 	}
-	if n := a.StealInto(b, 0); n != 0 {
+	if n := a.StealInto(b, 0, nil); n != 0 {
 		t.Fatalf("zero-max steal moved %d", n)
 	}
-	if n := a.StealInto(b, 5); n != 1 {
+	if n := a.StealInto(b, 5, nil); n != 1 {
 		t.Fatalf("steal moved %d, want 1", n)
 	}
-	if n := a.StealInto(b, 5); n != 0 {
+	if n := a.StealInto(b, 5, nil); n != 0 {
 		t.Fatalf("steal from empty moved %d", n)
 	}
 }
@@ -564,9 +564,9 @@ func TestPoolStealIntoConcurrentOppositeDirections(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				if g%2 == 0 {
-					a.StealInto(b, 3)
+					a.StealInto(b, 3, nil)
 				} else {
-					b.StealInto(a, 3)
+					b.StealInto(a, 3, nil)
 				}
 			}
 		}(g)
